@@ -1,0 +1,133 @@
+"""Ablations over the protocol's tunable parameters.
+
+The paper (Section 6.1) flags several tradeoffs it defers to [1]: the
+distribution constant (2), the m/u threshold ratio (6), the placement
+interval, and the watermark band.  These sweeps regenerate the tradeoffs
+on the Zipf workload so DESIGN.md's claims about each knob are backed by
+data.  All runs use a smaller scale/duration than the headline figures —
+the point is the ordering between settings, not absolute levels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.report import format_table
+from repro.scenarios.presets import paper_scenario
+from repro.scenarios.runner import run_scenario
+
+from benchmarks._util import fmt_pct, report
+
+SCALE = 0.15
+DURATION = 1500.0
+
+
+def _run(**protocol_overrides):
+    config = paper_scenario("zipf", scale=SCALE, duration=DURATION)
+    if protocol_overrides:
+        config = config.replace(
+            protocol=config.protocol.replace(**protocol_overrides)
+        )
+    return run_scenario(config)
+
+
+@pytest.fixture(scope="module")
+def constant_sweep():
+    return {
+        constant: _run(distribution_constant=constant)
+        for constant in (1.5, 2.0, 4.0)
+    }
+
+
+def test_ablation_distribution_constant(constant_sweep, benchmark):
+    rows = benchmark(
+        lambda: [
+            [
+                f"{constant:g}",
+                fmt_pct(result.proximity_reduction()),
+                f"{result.replicas_per_object():.2f}",
+                f"{result.max_load_settled():.1f}",
+            ]
+            for constant, result in constant_sweep.items()
+        ]
+    )
+    report(
+        "Ablation: distribution constant (paper uses 2)",
+        format_table(
+            ["constant", "proximity reduction", "replicas/object", "settled max load"],
+            rows,
+        )
+        + "\nLarger constants favour proximity (closest replica keeps a "
+        "bigger share);\nsmaller constants spread load more evenly.",
+    )
+    for result in constant_sweep.values():
+        assert result.proximity_reduction() > 0.2
+        result.system.check_invariants()
+
+
+def test_ablation_threshold_ratio(benchmark):
+    """m/u ratio: the paper requires m > 4u (Theorem 5) and uses m = 6u
+    'to prevent boundary effects'.  A tighter ratio must increase
+    replica churn (drops), which is exactly the vicious cycle the
+    constraint exists to damp."""
+
+    def sweep():
+        results = {}
+        for ratio in (4.5, 6.0, 12.0):
+            u = 0.03 * SCALE
+            results[ratio] = _run(
+                deletion_threshold=u, replication_threshold=ratio * u
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    drops = {}
+    for ratio, result in results.items():
+        events = result.system.placement_events
+        drops[ratio] = sum(1 for e in events if e.action.value == "drop")
+        rows.append(
+            [
+                f"{ratio:g}",
+                f"{drops[ratio]}",
+                f"{result.replicas_per_object():.2f}",
+                fmt_pct(result.proximity_reduction()),
+            ]
+        )
+    report(
+        "Ablation: m/u threshold ratio (paper uses 6)",
+        format_table(
+            ["m/u", "replica drops", "replicas/object", "proximity reduction"],
+            rows,
+        ),
+    )
+    # Churn decreases as the ratio widens.
+    assert drops[4.5] >= drops[12.0]
+
+
+def test_ablation_placement_interval(benchmark):
+    """Responsiveness vs burst sensitivity: shorter intervals adjust
+    faster (the paper chose 100 s to mask sub-minute burstiness)."""
+
+    def sweep():
+        return {
+            interval: _run(placement_interval=interval)
+            for interval in (50.0, 100.0, 200.0)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            f"{interval:g}s",
+            f"{result.adjustment_time() / 60:.1f} min",
+            fmt_pct(result.proximity_reduction()),
+        ]
+        for interval, result in results.items()
+    ]
+    report(
+        "Ablation: placement interval (paper uses 100 s)",
+        format_table(
+            ["interval", "adjustment time", "proximity reduction"], rows
+        ),
+    )
+    assert results[50.0].adjustment_time() <= results[200.0].adjustment_time() * 1.5

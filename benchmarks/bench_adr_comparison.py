@@ -1,0 +1,157 @@
+"""Related-work comparison: the paper's protocol vs ADR (Wolfson et al.).
+
+Section 1.1 argues ADR is unsuited to Internet hosting on four counts:
+the logical-tree/physical-topology mismatch, closest-replica-only service
+(no load sharing), neighbour-only (hop-by-hop) replication, and
+contiguous replica sets.  This bench makes the first and third claims
+quantitative on the regional workload — the most locality-friendly
+setting, i.e. the *best case* for ADR — by measuring the per-read
+physical byte-hop cost and the adjustment trajectory of both protocols
+under identical demand (including a 1% provider-update write mix, since
+ADR's tests are read/write driven).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.adr import AdrSystem
+from repro.metrics.report import format_table
+from repro.network.transport import Network
+from repro.routing.routes_db import RoutingDatabase
+from repro.scenarios.presets import paper_scenario
+from repro.scenarios.runner import make_workload, run_scenario
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+from repro.topology.uunet import uunet_backbone
+
+from benchmarks._util import report
+
+SCALE = 0.15
+DURATION = 1500.0
+WRITE_FRACTION = 0.01
+
+
+def _run_adr(config):
+    sim = Simulator()
+    topology = uunet_backbone(config.topology_seed)
+    routes = RoutingDatabase(topology)
+    network = Network(sim, routes, track_links=False)
+    system = AdrSystem(
+        sim,
+        network,
+        num_objects=config.num_objects,
+        object_size=config.object_size,
+        adjustment_interval=config.protocol.placement_interval,
+    )
+    system.initialize_round_robin()
+    system.start()
+    workload = make_workload(config, topology, RngFactory(config.seed))
+    rng = RngFactory(config.seed).stream("adr-driver")
+    interval = 1.0 / config.node_request_rate
+    # Same per-gateway request streams as the hosting system's generators,
+    # with a write mixed in per WRITE_FRACTION.
+    for gateway in topology.nodes:
+        t = rng.random() * interval
+        while t < DURATION:
+            obj = workload.sample(gateway, rng)
+            if rng.random() < WRITE_FRACTION:
+                sim.schedule_at(t, system.submit_write, obj)
+            else:
+                sim.schedule_at(t, system.submit_read, gateway, obj)
+            t += interval
+    # Track the mean read cost over the final third for the equilibrium.
+    marker = {}
+
+    def snapshot():
+        marker["reads"] = system.reads
+        marker["byte_hops"] = system.read_byte_hops
+
+    sim.schedule_at(DURATION * 2 / 3, snapshot)
+    sim.run(until=DURATION)
+    system.stop()
+    tail_reads = system.reads - marker["reads"]
+    tail_cost = (
+        (system.read_byte_hops - marker["byte_hops"]) / tail_reads
+        if tail_reads
+        else 0.0
+    )
+    return system, tail_cost
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    config = paper_scenario("regional", scale=SCALE, duration=DURATION)
+    paper = run_scenario(config)
+    # Equilibrium per-request response byte-hops for the paper system.
+    paper_cost = (
+        paper.latency.mean_response_hops_series().mean_tail()
+        * config.object_size
+    )
+    start_cost = (
+        paper.latency.mean_response_hops_series().values[0] * config.object_size
+    )
+    adr, adr_cost = _run_adr(config)
+    return config, paper, paper_cost, start_cost, adr, adr_cost
+
+
+def test_adr_comparison(comparison, benchmark):
+    config, paper, paper_cost, start_cost, adr, adr_cost = comparison
+
+    def build_rows():
+        return [
+            [
+                "paper protocol",
+                f"{paper_cost / 1024:.1f}",
+                f"{paper.replicas_per_object():.2f}",
+                f"{len(paper.system.placement_events)}",
+            ],
+            [
+                "ADR (tree)",
+                f"{adr_cost / 1024:.1f}",
+                f"{adr.replicas_per_object():.2f}",
+                f"{adr.expansions + adr.contractions + adr.switches}",
+            ],
+            ["static placement (t=0 level)", f"{start_cost / 1024:.1f}", "1.00", "0"],
+        ]
+
+    rows = benchmark(build_rows)
+    report(
+        "ADR comparison (regional workload, 1% writes)",
+        format_table(
+            [
+                "protocol",
+                "KB-hops per read (equilibrium)",
+                "replicas/object",
+                "relocation ops",
+            ],
+            rows,
+        )
+        + "\nADR minimises read+write communication only: with Internet-"
+        "typical read-heavy\ndemand it buys low read cost by replicating "
+        "several-fold more and churning\nharder — the paper's point that "
+        "read/write cost 'is not a suitable cost metric\nfor the "
+        "Internet', where storage, churn and load sharing all matter.",
+    )
+
+    # Both protocols improve on static placement in ADR's best case.
+    assert paper_cost < start_cost
+    assert adr_cost < start_cost
+    # The paper's quantitative critique, visible in the numbers:
+    # 1. ADR's read/write-only cost metric over-replicates under
+    #    read-mostly demand — several times the paper protocol's replica
+    #    count (storage the metric does not price)...
+    assert adr.replicas_per_object() > 2 * paper.replicas_per_object()
+    # 2. ...with heavier relocation churn (hop-by-hop expansion re-copies
+    #    objects along every tree edge)...
+    assert (
+        adr.expansions + adr.contractions + adr.switches
+        > len(paper.system.placement_events)
+    )
+    # 3. ...and no load constraint whatsoever: nothing in ADR's tests
+    #    reads server load, so a swamped replica keeps every request
+    #    (tests/baselines/test_adr.py::test_adr_cannot_shed_a_local_hotspot
+    #    demonstrates the failure mode directly).
+    assert adr.expansions > 0
+    # The paper protocol keeps its replica budget small (Table 2 scale).
+    assert paper.replicas_per_object() < 2.0

@@ -1,0 +1,117 @@
+"""Microbenchmarks and Section 3 micro-scenarios for request distribution.
+
+Covers the motivating example quantitatively — the paper's algorithm vs
+the round-robin and closest-replica strawmen on the America/Europe
+two-cluster world — and measures the redirector's per-request decision
+cost (the hot path of the whole platform).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.closest import ClosestReplicaRedirector
+from repro.baselines.round_robin import RoundRobinRedirector
+from repro.core.redirector import RedirectorService
+from repro.metrics.report import format_table
+from repro.routing.routes_db import RoutingDatabase
+from repro.topology.generators import two_cluster_topology
+from repro.topology.uunet import uunet_backbone
+
+from benchmarks._util import report
+
+AMERICA_GW, EUROPE_GW = 0, 8
+AMERICA_HOST, EUROPE_HOST = 1, 7
+
+
+def _service(cls):
+    topology = two_cluster_topology(cluster_size=4, bridge_length=3)
+    service = cls(0, RoutingDatabase(topology))
+    service.register_initial(0, AMERICA_HOST)
+    service.replica_created(0, EUROPE_HOST, 1)
+    return service
+
+
+def _shares(service, pattern, n=3000):
+    counts = {AMERICA_HOST: 0, EUROPE_HOST: 0}
+    for i in range(n):
+        counts[service.choose_replica(pattern[i % len(pattern)], 0)] += 1
+    return {host: count / n for host, count in counts.items()}
+
+
+def test_section3_motivating_scenarios(benchmark):
+    def run_all():
+        table = {}
+        for name, cls in (
+            ("paper", RedirectorService),
+            ("round-robin", RoundRobinRedirector),
+            ("closest", ClosestReplicaRedirector),
+        ):
+            balanced = _shares(_service(cls), [AMERICA_GW, EUROPE_GW])
+            hotspot = _shares(_service(cls), [AMERICA_GW])
+            table[name] = (balanced, hotspot)
+        return table
+
+    table = benchmark(run_all)
+    rows = []
+    for name, (balanced, hotspot) in table.items():
+        rows.append(
+            [
+                name,
+                f"{balanced[AMERICA_HOST] * 100:.0f} / "
+                f"{balanced[EUROPE_HOST] * 100:.0f}",
+                f"{hotspot[AMERICA_HOST] * 100:.0f} / "
+                f"{hotspot[EUROPE_HOST] * 100:.0f}",
+            ]
+        )
+    report(
+        "Section 3 motivating example: request shares America/Europe",
+        format_table(
+            ["policy", "balanced demand (A%/E%)", "American hotspot (A%/E%)"],
+            rows,
+        )
+        + "\npaper's algorithm: balanced -> all local; hotspot -> 67/33 split",
+    )
+
+    paper_balanced, paper_hotspot = table["paper"]
+    # Balanced demand: everyone served locally.
+    assert paper_balanced[AMERICA_HOST] > 0.47
+    assert paper_balanced[EUROPE_HOST] > 0.47
+    # Hotspot: exactly the one-third spill of the factor-2 rule.
+    assert abs(paper_hotspot[EUROPE_HOST] - 1 / 3) < 0.03
+    # Round-robin wastes half the balanced traffic on ocean crossings.
+    rr_balanced, rr_hotspot = table["round-robin"]
+    assert abs(rr_hotspot[EUROPE_HOST] - 0.5) < 0.02
+    # Closest never sheds the hotspot.
+    _, closest_hotspot = table["closest"]
+    assert closest_hotspot[EUROPE_HOST] == 0.0
+
+
+def test_choose_replica_throughput(benchmark):
+    """Per-request decision cost with a realistic replica set."""
+    routes = RoutingDatabase(uunet_backbone())
+    service = RedirectorService(routes.min_mean_distance_node(), routes)
+    service.register_initial(0, 0)
+    for host in (5, 17, 33, 46):
+        service.replica_created(0, host, 1)
+    gateways = list(range(53))
+    state = {"i": 0}
+
+    def choose():
+        state["i"] = (state["i"] + 1) % 53
+        return service.choose_replica(gateways[state["i"]], 0)
+
+    benchmark(choose)
+
+
+def test_closest_replica_throughput(benchmark):
+    routes = RoutingDatabase(uunet_backbone())
+    service = ClosestReplicaRedirector(0, routes)
+    service.register_initial(0, 0)
+    for host in (5, 17, 33, 46):
+        service.replica_created(0, host, 1)
+    state = {"i": 0}
+
+    def choose():
+        state["i"] = (state["i"] + 1) % 53
+        return service.choose_replica(state["i"], 0)
+
+    benchmark(choose)

@@ -1,0 +1,61 @@
+"""Substrate microbenchmarks: simulator and platform throughput.
+
+Not a paper figure — these quantify the simulation substrate itself
+(event-loop throughput, end-to-end request cost, routing precomputation)
+so regressions in the harness are caught before they silently stretch
+every reproduction run.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ProtocolConfig
+from repro.network.transport import Network
+from repro.core.protocol import HostingSystem
+from repro.routing.routes_db import RoutingDatabase
+from repro.sim.engine import Simulator
+from repro.topology.uunet import uunet_backbone
+
+
+def test_event_loop_throughput(benchmark):
+    """Schedule-and-fire cost of one bare event."""
+
+    def run_events():
+        sim = Simulator()
+        count = 10_000
+
+        def tick():
+            nonlocal count
+            count -= 1
+            if count:
+                sim.schedule_after(0.001, tick)
+
+        sim.schedule_after(0.001, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run_events) == 0
+
+
+def test_request_pipeline_throughput(benchmark):
+    """Full request flow: distributor -> redirector -> host -> response."""
+    sim = Simulator()
+    routes = RoutingDatabase(uunet_backbone())
+    network = Network(sim, routes, track_links=False)
+    system = HostingSystem(
+        sim, network, ProtocolConfig(), num_objects=100, enable_placement=False
+    )
+    system.initialize_round_robin()
+    state = {"i": 0}
+
+    def one_request():
+        state["i"] += 1
+        system.submit_request(state["i"] % 53, state["i"] % 100)
+        sim.run()
+
+    benchmark(one_request)
+
+
+def test_routing_precomputation(benchmark):
+    """All-pairs deterministic shortest paths over the 53-node backbone."""
+    topology = uunet_backbone()
+    benchmark(lambda: RoutingDatabase(topology))

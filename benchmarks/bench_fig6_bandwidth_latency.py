@@ -1,0 +1,96 @@
+"""Figure 6: bandwidth consumed and average response latency over time.
+
+Regenerates both panels for all four workloads and compares the
+reductions against the paper's reported numbers (bandwidth: -62.9%
+hot-pages, -68.3% hot-sites, -60.1% Zipf, -90.1% regional; latency:
+~-20% Zipf/hot-pages, -28% regional, with hot-sites starting at tens of
+seconds before the hot spots dissolve).
+
+Expectations encoded as assertions are *shape* expectations: the ranking
+of workloads, the sign and rough magnitude of each effect — not the
+paper's absolute numbers, which depend on the authors' exact UUNET map.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import PAPER_BANDWIDTH_REDUCTION, figure6_series
+from repro.metrics.report import format_table, sparkline
+from repro.scenarios.presets import WORKLOAD_NAMES
+
+from benchmarks._util import fmt_pct, report
+
+
+def test_fig6_bandwidth_and_latency(paper_results, benchmark):
+    def extract():
+        return {name: figure6_series(result) for name, result in paper_results.items()}
+
+    series = benchmark(extract)
+
+    rows = []
+    lines = []
+    for workload in WORKLOAD_NAMES:
+        result = paper_results[workload]
+        bw_red = result.bandwidth_reduction()
+        prox_red = result.proximity_reduction()
+        lat_start = result.latency_start()
+        lat_eq = result.latency_equilibrium()
+        rows.append(
+            [
+                workload,
+                fmt_pct(bw_red),
+                fmt_pct(PAPER_BANDWIDTH_REDUCTION[workload]),
+                fmt_pct(prox_red),
+                f"{lat_start:.2f}s",
+                f"{lat_eq:.2f}s",
+            ]
+        )
+        lines.append(
+            f"{workload:>10} bw/min {sparkline(series[workload]['bandwidth_byte_hops'])}"
+        )
+        lines.append(
+            f"{'':>10} lat    {sparkline(series[workload]['mean_latency'])}"
+        )
+
+    report(
+        "Figure 6: bandwidth and latency vs time",
+        format_table(
+            [
+                "workload",
+                "bw reduction",
+                "paper bw",
+                "per-request bw reduction",
+                "latency start",
+                "latency eq",
+            ],
+            rows,
+        )
+        + "\n\n" + "\n".join(lines),
+    )
+
+    # Shape assertions ---------------------------------------------------
+    reductions = {w: paper_results[w].bandwidth_reduction() for w in WORKLOAD_NAMES}
+    proximity = {w: paper_results[w].proximity_reduction() for w in WORKLOAD_NAMES}
+    # Every workload's backbone traffic per request improves materially.
+    for workload in WORKLOAD_NAMES:
+        assert proximity[workload] > 0.25, workload
+    # Regional wins by far the most (paper: 90.1% vs 60-68%).
+    assert reductions["regional"] == max(reductions.values())
+    assert reductions["regional"] > 0.6
+    # Zipf and hot-pages land in the same broad band as the paper's 60%.
+    assert 0.3 < reductions["zipf"] < 0.75
+    assert 0.3 < reductions["hot-pages"] < 0.75
+    # Latency: improvements are smaller than bandwidth ones (every
+    # request still detours via the redirector), and hot-sites starts
+    # catastrophically high before the hot spots dissolve.
+    for workload in ("zipf", "hot-pages", "regional"):
+        result = paper_results[workload]
+        assert result.latency_equilibrium() < result.latency_start()
+    hot_sites = paper_results["hot-sites"]
+    assert hot_sites.latency_start() > 5.0
+    assert hot_sites.latency_equilibrium() < 1.0
+    # Hot-sites and hot-pages converge to similar equilibrium bandwidth
+    # (the paper: "the equilibrium bandwidth consumption for both the
+    # cases is the same"), despite opposite initial configurations.
+    eq_sites = hot_sites.bandwidth_equilibrium()
+    eq_pages = paper_results["hot-pages"].bandwidth_equilibrium()
+    assert abs(eq_sites - eq_pages) / eq_pages < 0.25

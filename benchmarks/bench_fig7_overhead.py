@@ -1,0 +1,63 @@
+"""Figure 7: relocation overhead as a percentage of total traffic.
+
+The paper: "the overhead, which occurs because of the replication and
+migration of documents, is always below 2.5% of (already reduced) total
+traffic".  Relocation traffic does not scale with the load axis, so at
+load scale f the raw fraction inflates by ~1/f; the harness reports both
+the raw fraction and the full-scale-equivalent one that is comparable to
+the paper (see ScenarioResult.overhead_fraction_fullscale).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import PAPER_MAX_OVERHEAD, figure7_series
+from repro.metrics.report import format_table, sparkline
+from repro.scenarios.presets import WORKLOAD_NAMES
+
+from benchmarks._util import fmt_pct, report
+
+
+def test_fig7_overhead(paper_results, scale, benchmark):
+    series = benchmark(
+        lambda: {w: figure7_series(r) for w, r in paper_results.items()}
+    )
+
+    rows = []
+    lines = []
+    for workload in WORKLOAD_NAMES:
+        result = paper_results[workload]
+        rows.append(
+            [
+                workload,
+                fmt_pct(result.overhead_fraction()),
+                fmt_pct(result.overhead_fraction_fullscale()),
+                fmt_pct(PAPER_MAX_OVERHEAD),
+            ]
+        )
+        lines.append(
+            f"{workload:>10} overhead% "
+            f"{sparkline(series[workload]['overhead_fraction'])}"
+        )
+    report(
+        "Figure 7: network overhead",
+        format_table(
+            [
+                "workload",
+                f"raw fraction (scale {scale:g})",
+                "full-scale equivalent",
+                "paper bound",
+            ],
+            rows,
+        )
+        + "\n\n" + "\n".join(lines),
+    )
+
+    for workload in WORKLOAD_NAMES:
+        result = paper_results[workload]
+        # Same order of magnitude as the paper's 2.5% ceiling: a few
+        # percent, not tens.
+        assert result.overhead_fraction_fullscale() < 0.06, workload
+        # Overhead decays once the system adjusts: the tail of the
+        # overhead-fraction series sits below its peak.
+        fraction = figure7_series(result)["overhead_fraction"]
+        assert fraction.mean_tail(0.25) < fraction.max()

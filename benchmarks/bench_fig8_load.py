@@ -1,0 +1,97 @@
+"""Figure 8: maximum system load (a) and load-bound estimates (b).
+
+(a) "The maximum load always remains below the high-watermark ... which
+shows that the algorithm successfully distributes load among the
+servers"; initially the hot-sites and Zipf maxima are high before the hot
+spots are removed.
+
+(b) One host's actual load lies between its lower and upper bound
+estimates, showing the Theorem 1-4 load predictions hold in vivo.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import figure8_series
+from repro.metrics.report import format_table, sparkline
+from repro.scenarios.presets import WORKLOAD_NAMES
+
+from benchmarks._util import report
+
+
+def test_fig8a_max_load(paper_results, benchmark):
+    series = benchmark(
+        lambda: {w: figure8_series(r) for w, r in paper_results.items()}
+    )
+    rows = []
+    lines = []
+    for workload in WORKLOAD_NAMES:
+        result = paper_results[workload]
+        hw = result.config.protocol.high_watermark
+        capacity = result.config.capacity
+        peak = result.max_load()
+        settled = result.loads.max_load_after(result.config.duration * 0.85)
+        rows.append(
+            [
+                workload,
+                f"{peak:.1f}",
+                f"{settled:.1f}",
+                f"{hw:g}",
+                f"{capacity:g}",
+            ]
+        )
+        lines.append(
+            f"{workload:>10} maxload {sparkline(series[workload]['max_load'])}"
+        )
+    report(
+        "Figure 8a: maximum host load",
+        format_table(
+            ["workload", "peak max load", "settled max load", "hw", "capacity"],
+            rows,
+        )
+        + "\n\n" + "\n".join(lines),
+    )
+    for workload in WORKLOAD_NAMES:
+        result = paper_results[workload]
+        hw = result.config.protocol.high_watermark
+        # The final-stretch maximum sits at/below the high-watermark band
+        # (modest overshoot tolerated: measurement noise at scaled-down
+        # absolute counts; hot-sites is the slowest to fully settle).
+        settled = result.loads.max_load_after(result.config.duration * 0.85)
+        assert settled <= hw * 1.4, workload
+    # Hot-sites starts saturated and is pulled down by a large factor.
+    hot = paper_results["hot-sites"]
+    assert hot.max_load() >= hot.config.capacity * 0.95
+    assert (
+        hot.loads.max_load_after(hot.config.duration * 0.85)
+        < hot.max_load() * 0.55
+    )
+
+
+def test_fig8b_load_estimates(paper_results, benchmark):
+    result = paper_results["zipf"]
+    series = benchmark(lambda: figure8_series(result))
+    actual = series["focal_actual"]
+    lower = series["focal_lower"]
+    upper = series["focal_upper"]
+    assert len(actual) > 50
+    inside = sum(
+        1
+        for a, lo, up in zip(actual.values, lower.values, upper.values)
+        if lo - 1e-9 <= a <= up + 1e-9
+    )
+    coverage = inside / len(actual)
+    report(
+        "Figure 8b: load estimates bracket actual load",
+        f"focal host {result.loads.focal_host}: {len(actual)} samples, "
+        f"{coverage * 100:.1f}% inside [lower, upper]\n"
+        f"actual {sparkline(actual)}\n"
+        f"upper  {sparkline(upper)}\n"
+        f"lower  {sparkline(lower)}",
+    )
+    # The paper's claim: the actual load lies between the estimates.
+    # Samples taken while a measurement interval straddles a relocation
+    # can transiently escape; the bracket must hold for the vast majority.
+    assert coverage > 0.9
+    # The bounds are genuinely used (not degenerate): some samples have
+    # upper > lower.
+    assert any(up > lo + 1e-9 for lo, up in zip(lower.values, upper.values))

@@ -1,0 +1,55 @@
+"""Table 1: simulation parameters.
+
+Asserts that ``paper_parameters()`` reproduces the paper's Table 1
+verbatim and prints it next to the scaled configuration the harness
+actually runs.  The timed kernel is scenario construction + validation
+(the part users pay on every experiment setup).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import table1_rows
+from repro.metrics.report import format_table
+from repro.scenarios.presets import bench_scale, paper_parameters
+
+from benchmarks._util import report
+
+#: The paper's Table 1, verbatim.
+PAPER_TABLE1 = [
+    ("Number of objects", "10000"),
+    ("Size of object", "12KB"),
+    ("Placement decision frequency", "Every 100 seconds"),
+    ("Node request rate", "40 requests per sec"),
+    ("Server capacity", "200 requests per sec"),
+    ("Network delay", "10ms per hop"),
+    ("Link bandwidth", "350 KBps"),
+    ("Deletion threshold u", "0.03 requests/sec"),
+    ("Replication threshold m", "6u, or 0.18 requests/sec"),
+]
+
+
+def test_table1_parameters(benchmark):
+    config = benchmark(paper_parameters)
+    ours = dict(table1_rows(config))
+    for name, value in PAPER_TABLE1:
+        assert ours[name] == value, f"{name}: {ours[name]!r} != {value!r}"
+    # Watermarks: Table 1 lists both the 90/80 and 50/40 variants.
+    high = paper_parameters(high_load=True)
+    assert (high.protocol.high_watermark, high.protocol.low_watermark) == (50, 40)
+
+    scaled = config.scaled(bench_scale())
+    rows = [
+        [name, value, dict(table1_rows(scaled))[name]]
+        for name, value in table1_rows(config)
+    ]
+    rows.append(
+        ["High/low watermarks (high-load run)", "50 / 40 requests/sec",
+         f"{high.scaled(bench_scale()).protocol.high_watermark:g} / "
+         f"{high.scaled(bench_scale()).protocol.low_watermark:g}"]
+    )
+    report(
+        "Table 1: simulation parameters",
+        format_table(
+            ["parameter", "paper", f"harness (scale {bench_scale():g})"], rows
+        ),
+    )

@@ -1,0 +1,56 @@
+"""Shared scenario runs for the benchmark harness.
+
+Figures 6-8 and Table 2 all read the same four workload runs, and
+Figure 9 the four high-load runs; running them once per pytest session
+keeps the full harness tractable.  The load scale defaults to
+``DEFAULT_BENCH_SCALE`` (see repro.scenarios.presets); set
+``REPRO_FULL_SCALE=1`` for paper scale or ``REPRO_SCALE=x`` to override.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.scenarios.presets import WORKLOAD_NAMES, bench_scale, paper_scenario
+from repro.scenarios.runner import ScenarioResult, run_scenario
+
+#: Simulated duration for harness runs: long enough for every workload to
+#: reach equilibrium with a stable tail (the paper's adjustment times are
+#: 20-23 min; hot-sites needs the longest runway).
+BENCH_DURATION = 3000.0
+
+
+def _run_grid(high_load: bool) -> dict[str, ScenarioResult]:
+    results: dict[str, ScenarioResult] = {}
+    for workload in WORKLOAD_NAMES:
+        started = time.time()
+        config = paper_scenario(
+            workload, high_load=high_load, duration=BENCH_DURATION
+        )
+        results[workload] = run_scenario(config)
+        label = "high-load" if high_load else "low-load"
+        print(
+            f"[bench setup] {label} {workload}: "
+            f"{time.time() - started:.0f}s wall",
+            flush=True,
+        )
+    return results
+
+
+@pytest.fixture(scope="session")
+def paper_results() -> dict[str, ScenarioResult]:
+    """The four paper evaluation runs (low load, watermarks 90/80)."""
+    return _run_grid(high_load=False)
+
+
+@pytest.fixture(scope="session")
+def high_load_results() -> dict[str, ScenarioResult]:
+    """The four Figure 9 runs (high load, watermarks 50/40)."""
+    return _run_grid(high_load=True)
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Heterogeneous hosting platform: weights and storage limits.
+
+Section 2 of the paper assumes homogeneous hosts but notes that
+"heterogeneity could be introduced by incorporating into the protocol
+weights corresponding to relative power of hosts", and Section 2.1 that
+the load metric may be a vector including storage utilisation.  This
+example runs a platform where
+
+* the regional hub nodes are 3x servers (big POPs),
+* a handful of edge nodes are 0.5x servers with tight storage,
+
+and shows the placement protocol respecting both: strong hosts absorb
+proportionally more replicas and load, weak hosts stay within their
+scaled watermarks and never exceed their storage.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ProtocolConfig
+from repro.metrics.report import format_table
+from repro.network.transport import Network
+from repro.core.protocol import HostingSystem
+from repro.metrics.loadstats import LoadCollector
+from repro.routing.routes_db import RoutingDatabase
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+from repro.topology.uunet import uunet_backbone
+from repro.workloads.base import attach_generators
+from repro.workloads.zipf import ZipfWorkload
+
+SCALE = 0.15
+DURATION = 1500.0
+
+#: Hubs (first nodes of each region) get 3x power; five edge POPs are
+#: half-power boxes with room for only 40 objects.
+STRONG = {0, 1, 14, 15, 33, 34}
+WEAK = {12, 13, 31, 32, 52}
+
+
+def main() -> None:
+    print(__doc__)
+    sim = Simulator()
+    topology = uunet_backbone()
+    network = Network(sim, RoutingDatabase(topology), track_links=False)
+    protocol = ProtocolConfig(
+        high_watermark=90.0 * SCALE,
+        low_watermark=80.0 * SCALE,
+        deletion_threshold=0.03 * SCALE,
+        replication_threshold=0.18 * SCALE,
+    )
+    weights = {node: 3.0 for node in STRONG}
+    weights.update({node: 0.5 for node in WEAK})
+    system = HostingSystem(
+        sim,
+        network,
+        protocol,
+        num_objects=2000,
+        capacity=200.0 * SCALE,
+        host_weights=weights,
+        storage_limits={node: 40 for node in WEAK},
+    )
+    system.initialize_round_robin()
+    loads = LoadCollector(system)
+    system.start()
+    generators = attach_generators(
+        sim, system, ZipfWorkload(2000), 40.0 * SCALE, RngFactory(11)
+    )
+    print(f"running {DURATION:g} simulated seconds ...\n")
+    sim.run(until=DURATION)
+    for generator in generators:
+        generator.stop()
+    loads.finalize()
+
+    def tier_stats(nodes):
+        hosts = [system.hosts[n] for n in nodes]
+        load = sum(h.measured_load for h in hosts) / len(hosts)
+        objects = sum(len(h.store) for h in hosts) / len(hosts)
+        util = sum(
+            h.measured_load / h.high_watermark for h in hosts
+        ) / len(hosts)
+        return load, objects, util
+
+    rows = []
+    for label, nodes in (
+        ("strong (3x)", STRONG),
+        ("normal (1x)", set(topology.nodes) - STRONG - WEAK),
+        ("weak (0.5x, 40-object store)", WEAK),
+    ):
+        load, objects, util = tier_stats(nodes)
+        rows.append(
+            [label, f"{load:.1f}", f"{objects:.0f}", f"{util * 100:.0f}%"]
+        )
+    print(
+        format_table(
+            ["tier", "mean load (req/s)", "mean objects", "watermark utilisation"],
+            rows,
+        )
+    )
+    overfull = [
+        node
+        for node in WEAK
+        if len(system.hosts[node].store) > system.hosts[node].storage_limit
+    ]
+    print(f"\nweak hosts over their storage limit: {overfull or 'none'}")
+    over_hw = [
+        node
+        for node, host in system.hosts.items()
+        if host.measured_load > host.high_watermark * 1.2
+    ]
+    print(f"hosts above 1.2x their own high watermark: {over_hw or 'none'}")
+    system.check_invariants()
+
+
+if __name__ == "__main__":
+    main()

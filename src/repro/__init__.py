@@ -1,0 +1,49 @@
+"""repro — a reproduction of "A Dynamic Object Replication and Migration
+Protocol for an Internet Hosting Service" (Rabinovich, Rabinovich,
+Rajaraman, Aggarwal — ICDCS 1999).
+
+The package implements the paper's full protocol suite — the Figure 2
+request-distribution algorithm, the Figure 3 autonomous replica-placement
+algorithm, the Figure 4 CreateObj handshake, the Figure 5 bulk offload
+protocol, and the Theorem 1–5 load bounds — together with every substrate
+the evaluation needs: a discrete-event simulator, a synthetic 53-node
+UUNET-like backbone, deterministic routing with preference paths, a
+transport layer with byte-hop accounting, the four synthetic workloads,
+baseline policies, and metric collectors for every figure and table in
+the paper.
+
+Quickstart
+----------
+>>> from repro import paper_scenario, run_scenario
+>>> result = run_scenario(paper_scenario("zipf", scale=0.05, duration=600))
+>>> 0.0 < result.bandwidth_reduction() < 1.0
+True
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
+results.
+"""
+
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import HostingSystem
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.presets import paper_parameters, paper_scenario
+from repro.scenarios.runner import ScenarioResult, build_system, run_scenario
+from repro.sim.engine import Simulator
+from repro.topology.uunet import uunet_backbone
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ProtocolConfig",
+    "HostingSystem",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "Simulator",
+    "uunet_backbone",
+    "paper_parameters",
+    "paper_scenario",
+    "run_scenario",
+    "build_system",
+]

@@ -1,0 +1,104 @@
+"""Command-line interface: ``python -m repro``.
+
+Runs one paper scenario and prints the evaluation summary — the same
+metrics the benchmark harness reports, for ad-hoc exploration:
+
+    python -m repro --workload regional --scale 0.15 --duration 1800
+    python -m repro --workload zipf --high-load --distribution closest
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.metrics.report import format_table, series_summary
+from repro.scenarios.presets import WORKLOAD_NAMES, paper_scenario
+from repro.scenarios.runner import run_scenario
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Run one scenario of the ICDCS 1999 dynamic replication "
+            "protocol reproduction."
+        ),
+    )
+    parser.add_argument(
+        "--workload",
+        choices=[*WORKLOAD_NAMES, "uniform"],
+        default="zipf",
+        help="request pattern (default: zipf)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.15,
+        help="load-axis scale relative to Table 1 (default: 0.15)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=1800.0,
+        help="simulated seconds (default: 1800)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="scenario seed (default: 1)"
+    )
+    parser.add_argument(
+        "--high-load",
+        action="store_true",
+        help="use the Figure 9 watermarks (50/40 instead of 90/80)",
+    )
+    parser.add_argument(
+        "--static",
+        action="store_true",
+        help="disable dynamic placement (the static baseline)",
+    )
+    parser.add_argument(
+        "--distribution",
+        choices=["paper", "round-robin", "closest"],
+        default="paper",
+        help="request-distribution policy (default: paper)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = paper_scenario(
+        args.workload,
+        high_load=args.high_load,
+        dynamic=not args.static,
+        scale=args.scale,
+        duration=args.duration,
+        seed=args.seed,
+    ).replace(distribution=args.distribution)
+    print(f"running {config.name!r} ({args.distribution} distribution) ...")
+    result = run_scenario(config)
+
+    print()
+    print(series_summary("bandwidth (byte-hops/min)", result.bandwidth.payload_series()))
+    print(series_summary("mean latency (s)", result.latency.mean_latency_series()))
+    rows = [
+        ["requests serviced / dropped",
+         f"{result.latency.completed} / {result.latency.dropped}"],
+        ["bandwidth reduction", f"{result.bandwidth_reduction():.1%}"],
+        ["per-request bandwidth reduction", f"{result.proximity_reduction():.1%}"],
+        ["latency equilibrium", f"{result.latency_equilibrium():.3f} s"],
+        ["replicas per object", f"{result.replicas_per_object():.2f}"],
+        ["overhead (full-scale equiv.)",
+         f"{result.overhead_fraction_fullscale():.2%}"],
+        ["settled max load",
+         f"{result.max_load_settled():.1f} req/s "
+         f"(hw {config.protocol.high_watermark:g})"],
+        ["relocations", f"{len(result.system.placement_events)}"],
+    ]
+    print()
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Analysis helpers: equilibrium detection, paper tables and figures.
+
+:mod:`~repro.analysis.steady_state` detects whether/when a metric series
+settled; :mod:`~repro.analysis.tables` assembles Table 2 rows
+(adjustment time, mean replicas) from scenario results;
+:mod:`~repro.analysis.figures` extracts the exact series each paper
+figure plots, in a renderer-independent form the benchmark harness
+prints and tests assert against.
+"""
+
+from repro.analysis.export import export_result_csv
+from repro.analysis.links import (
+    class_byte_shares,
+    hottest_links,
+    link_reports,
+    traffic_concentration,
+)
+from repro.analysis.figures import (
+    figure6_series,
+    figure7_series,
+    figure8_series,
+)
+from repro.analysis.stats import across_seeds, summarize
+from repro.analysis.steady_state import is_settled, settle_time
+from repro.analysis.tables import table1_rows, table2_row, table2_rows
+
+__all__ = [
+    "is_settled",
+    "settle_time",
+    "table1_rows",
+    "table2_row",
+    "table2_rows",
+    "figure6_series",
+    "figure7_series",
+    "figure8_series",
+    "export_result_csv",
+    "across_seeds",
+    "summarize",
+    "link_reports",
+    "hottest_links",
+    "traffic_concentration",
+    "class_byte_shares",
+]

@@ -1,0 +1,77 @@
+"""CSV export of every measured series from a scenario run.
+
+The library renders figures as plain text; users who want real plots can
+export a run's series and feed them to any tool:
+
+>>> from repro.analysis.export import export_result_csv   # doctest: +SKIP
+>>> export_result_csv(result, "out/")                     # doctest: +SKIP
+
+One CSV per series, plus ``summary.csv`` with the scalar statistics the
+benchmarks report.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.analysis.figures import figure6_series, figure7_series, figure8_series
+from repro.metrics.collectors import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.scenarios.runner import ScenarioResult
+
+
+def write_series_csv(series: TimeSeries, path: Path, *, value_name: str) -> None:
+    """Write one ``time,<value_name>`` CSV."""
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_s", value_name])
+        for time, value in series.items():
+            writer.writerow([f"{time:.3f}", repr(value)])
+
+
+def export_result_csv(result: "ScenarioResult", directory: str | Path) -> list[Path]:
+    """Export every figure series and the scalar summary; returns paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    named: dict[str, TimeSeries] = {}
+    named.update(
+        {f"fig6_{name}": series for name, series in figure6_series(result).items()}
+    )
+    named.update(
+        {f"fig7_{name}": series for name, series in figure7_series(result).items()}
+    )
+    named.update(
+        {f"fig8_{name}": series for name, series in figure8_series(result).items()}
+    )
+    named["replica_census"] = result.replicas.series
+
+    for name, series in named.items():
+        path = directory / f"{name}.csv"
+        write_series_csv(series, path, value_name=name)
+        written.append(path)
+
+    summary_path = directory / "summary.csv"
+    with summary_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["metric", "value"])
+        writer.writerow(["scenario", result.config.name])
+        writer.writerow(["workload", result.config.workload])
+        writer.writerow(["seed", result.config.seed])
+        writer.writerow(["load_scale", result.config.load_scale])
+        writer.writerow(["requests_completed", result.latency.completed])
+        writer.writerow(["requests_dropped", result.latency.dropped])
+        writer.writerow(["bandwidth_reduction", result.bandwidth_reduction()])
+        writer.writerow(["proximity_reduction", result.proximity_reduction()])
+        writer.writerow(["latency_equilibrium_s", result.latency_equilibrium()])
+        writer.writerow(["replicas_per_object", result.replicas_per_object()])
+        writer.writerow(
+            ["overhead_fraction_fullscale", result.overhead_fraction_fullscale()]
+        )
+        writer.writerow(["max_load_settled", result.max_load_settled()])
+    written.append(summary_path)
+    return written

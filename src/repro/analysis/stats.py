@@ -1,0 +1,77 @@
+"""Cross-seed statistics for scenario metrics.
+
+The paper reports single runs; for statements like "bandwidth reduction
+is 50 ± 2% across seeds" the benchmarks and users can run a metric over
+several seeds and summarise with a mean and a Student-t confidence
+interval (normal-approximation fallback when SciPy is unavailable — it
+is installed in this environment, but the library should not hard-depend
+on it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.runner import ScenarioResult, run_scenario
+
+#: Two-sided 95% Student-t critical values for small sample sizes
+#: (df 1..30); beyond that the normal value 1.96 is a fine approximation.
+_T95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+@dataclass(frozen=True, slots=True)
+class MetricSummary:
+    """Mean, standard deviation and a 95% confidence half-width."""
+
+    values: tuple[float, ...]
+    mean: float
+    stdev: float
+    ci95: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.ci95
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.ci95
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4g} ± {self.ci95:.2g} (n={len(self.values)})"
+
+
+def summarize(values: Sequence[float]) -> MetricSummary:
+    """Summarise a sample with a 95% t-interval on the mean."""
+    if not values:
+        raise ConfigurationError("cannot summarise an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return MetricSummary(tuple(values), mean, 0.0, 0.0)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    stdev = math.sqrt(variance)
+    t = _T95[n - 2] if n - 1 <= len(_T95) else 1.96
+    return MetricSummary(tuple(values), mean, stdev, t * stdev / math.sqrt(n))
+
+
+def across_seeds(
+    config: ScenarioConfig,
+    metric: Callable[[ScenarioResult], float],
+    *,
+    seeds: Sequence[int],
+) -> MetricSummary:
+    """Run a scenario once per seed and summarise ``metric`` across runs."""
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    values = [
+        metric(run_scenario(config.replace(seed=seed))) for seed in seeds
+    ]
+    return summarize(values)

@@ -1,0 +1,58 @@
+"""Equilibrium detection for metric time series.
+
+The paper's Table 2 defines the adjustment time against "the average
+equilibrium bandwidth consumption"; these helpers generalise that:
+``is_settled`` decides whether a series' tail is stable enough to call an
+equilibrium at all (guarding the benchmarks against reading statistics
+off a run that has not converged), and ``settle_time`` is the shared
+envelope-crossing computation (re-exported by :mod:`repro.metrics.
+adjustment` with the paper's 10% margin as the default).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.metrics.adjustment import adjustment_time, equilibrium_level
+from repro.metrics.collectors import TimeSeries
+from repro.types import Time
+
+
+def is_settled(
+    series: TimeSeries,
+    *,
+    tail: float = 0.25,
+    tolerance: float = 0.15,
+) -> bool:
+    """Whether the series' tail fluctuates within ``tolerance`` of its mean.
+
+    Uses the max absolute deviation of the tail from the tail mean; an
+    all-zero tail counts as settled (a flat line is an equilibrium).
+    """
+    if len(series) < 4:
+        return False
+    level = equilibrium_level(series, tail=tail)
+    count = max(1, int(len(series) * tail))
+    tail_values = series.values[-count:]
+    if level == 0:
+        return all(value == 0 for value in tail_values)
+    return all(abs(value - level) / abs(level) <= tolerance for value in tail_values)
+
+
+def settle_time(
+    series: TimeSeries,
+    *,
+    margin: float = 0.10,
+    tail: float = 0.25,
+) -> Time:
+    """Alias for the Table 2 adjustment-time computation."""
+    return adjustment_time(series, margin=margin, tail=tail)
+
+
+def relative_change(before: float, after: float) -> float:
+    """Signed relative change from ``before`` to ``after``.
+
+    Positive means ``after`` is larger.  Raises on a zero baseline.
+    """
+    if before == 0:
+        raise ConfigurationError("relative change against a zero baseline")
+    return (after - before) / before

@@ -1,0 +1,32 @@
+"""Baseline policies the paper argues against (Sections 1 and 3).
+
+* :class:`~repro.baselines.round_robin.RoundRobinRedirector` — pure
+  round-robin request distribution ("would distribute the load among all
+  replicas but would be oblivious to the proximity of requesters").
+* :class:`~repro.baselines.closest.ClosestReplicaRedirector` — always the
+  closest replica ("would create problems when a server is swamped with
+  requests originating from its vicinity: no matter how many additional
+  replicas the server creates, all requests will be sent to it anyway").
+* :func:`~repro.baselines.static_placement.make_static_system` — the
+  paper's implicit comparison point: the initial round-robin placement
+  with no dynamic replication (every figure's t=0 level).
+* :func:`~repro.baselines.full_replication.replicate_everywhere` — the
+  "trivial solution" of Section 4 that replicates every object on every
+  server, used to demonstrate why needless replicas are actively harmful
+  under the paper's load-oblivious request distribution.
+"""
+
+from repro.baselines.adr import AdrSystem, LogicalTree
+from repro.baselines.closest import ClosestReplicaRedirector
+from repro.baselines.full_replication import replicate_everywhere
+from repro.baselines.round_robin import RoundRobinRedirector
+from repro.baselines.static_placement import make_static_system
+
+__all__ = [
+    "RoundRobinRedirector",
+    "ClosestReplicaRedirector",
+    "make_static_system",
+    "replicate_everywhere",
+    "AdrSystem",
+    "LogicalTree",
+]

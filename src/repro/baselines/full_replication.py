@@ -1,0 +1,41 @@
+"""Full replication: every object on every server.
+
+Section 4 opens by dismissing the "trivial solution" of replicating
+everything everywhere — not only because storage would be prohibitive,
+but because under the paper's load-oblivious request distribution
+"excessive replicas would cause more requests to be sent to distant
+hosts".  This helper installs that placement so the ablation benchmark
+can demonstrate the effect quantitatively.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import HostingSystem
+from repro.errors import ProtocolError
+
+
+def replicate_everywhere(system: HostingSystem) -> None:
+    """Install a replica of every object on every host.
+
+    Must be called on a fresh system before any placement is installed;
+    the first host in node order is registered as the original copy and
+    the rest via the normal replica-creation notification (so redirector
+    request counts start uniform).  No relocation traffic is charged —
+    this models an administratively pre-provisioned mirror set.
+    """
+    nodes = list(system.routes.topology.nodes)
+    if not nodes:
+        raise ProtocolError("system has no nodes")
+    for obj in range(system.num_objects):
+        redirector = system.redirectors.for_object(obj)
+        if redirector.knows(obj):
+            raise ProtocolError(
+                f"object {obj} already placed; replicate_everywhere needs a "
+                "fresh system"
+            )
+        for index, node in enumerate(nodes):
+            system.hosts[node].store.add(obj)
+            if index == 0:
+                redirector.register_initial(obj, node)
+            else:
+                redirector.replica_created(obj, node, 1)

@@ -1,0 +1,46 @@
+"""Static placement: the initial assignment, frozen.
+
+The paper's figures compare the dynamic protocol's trajectory against its
+own starting point — the round-robin initial placement with no
+replication or migration.  ``make_static_system`` builds a
+:class:`~repro.core.protocol.HostingSystem` with placement disabled so
+that starting point can be measured as a proper baseline run (its
+bandwidth and latency are flat over time; the "reduction" percentages in
+EXPERIMENTS.md divide the dynamic equilibrium by this level).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import HostingSystem
+from repro.network.transport import Network
+from repro.sim.engine import Simulator
+
+
+def make_static_system(
+    sim: Simulator,
+    network: Network,
+    config: ProtocolConfig,
+    *,
+    num_objects: int,
+    **kwargs: Any,
+) -> HostingSystem:
+    """A hosting system that never replicates or migrates anything.
+
+    Accepts the same keyword arguments as :class:`HostingSystem`; the
+    initial round-robin placement is installed and the system is started
+    (measurement processes still run so load metrics stay comparable).
+    """
+    system = HostingSystem(
+        sim,
+        network,
+        config,
+        num_objects=num_objects,
+        enable_placement=False,
+        **kwargs,
+    )
+    system.initialize_round_robin()
+    system.start()
+    return system

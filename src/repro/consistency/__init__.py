@@ -1,0 +1,39 @@
+"""Replica consistency (Section 5 of the paper).
+
+The paper divides hosted objects into three categories:
+
+1. Objects that do not change as a result of user accesses (static pages,
+   read-only dynamic services).  Consistency uses the **primary-copy**
+   approach: the node hosting the original copy is the primary; provider
+   updates propagate asynchronously to the current replica set, either
+   immediately or in batches via epidemic mechanisms.  80–95% of Web
+   accesses hit this category.
+2. Objects whose only per-access modification is commuting (access
+   counters, statistics).  Replicable if per-replica statistics can be
+   **merged**.
+3. Objects with non-commuting per-access updates.  In general these can
+   only be migrated; if the application tolerates bounded inconsistency,
+   a **limited number** of replicas may be kept.
+
+This package implements all three behaviours on top of the core
+protocol: :class:`~repro.consistency.categories.ConsistencyPolicy`
+classifies objects and enforces replication limits,
+:class:`~repro.consistency.primary_copy.PrimaryCopyManager` tracks
+primaries and propagates updates (immediate or epidemic-batched, with
+update traffic charged to the backbone), and
+:mod:`~repro.consistency.merge` provides commuting-statistics merging.
+"""
+
+from repro.consistency.categories import Category, ConsistencyPolicy
+from repro.consistency.epidemic import EpidemicBatcher
+from repro.consistency.merge import CountingStats, merge_counts
+from repro.consistency.primary_copy import PrimaryCopyManager
+
+__all__ = [
+    "Category",
+    "ConsistencyPolicy",
+    "PrimaryCopyManager",
+    "EpidemicBatcher",
+    "CountingStats",
+    "merge_counts",
+]

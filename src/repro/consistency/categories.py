@@ -1,0 +1,88 @@
+"""Object consistency categories and per-category replication limits.
+
+Section 5: category-1 objects replicate freely under primary-copy
+consistency; category-2 objects replicate if statistics merging is
+provided; category-3 objects either stay migrate-only (replica limit 1)
+or, when the application tolerates inconsistency, keep a bounded replica
+set ("the protocol itself remains the same, with the additional
+restriction that the total number of replicas remain within the limit").
+
+:class:`ConsistencyPolicy` is consulted by the hosting system's CreateObj
+path: replication requests that would exceed an object's replica limit
+are refused before any bytes move.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConsistencyError
+from repro.types import ObjectId
+
+
+class Category(enum.Enum):
+    """Section 5's three object categories."""
+
+    #: No per-access modification; primary-copy + async propagation.
+    STATIC = 1
+    #: Commuting per-access updates (counters); replicable with merging.
+    COMMUTING = 2
+    #: Non-commuting per-access updates; migrate-only or bounded replicas.
+    NON_COMMUTING = 3
+
+
+class ConsistencyPolicy:
+    """Classifies objects and enforces per-category replica limits."""
+
+    def __init__(
+        self,
+        *,
+        default_category: Category = Category.STATIC,
+        non_commuting_replica_limit: int = 1,
+    ) -> None:
+        if non_commuting_replica_limit < 1:
+            raise ConsistencyError("replica limit must be at least 1")
+        self._default = default_category
+        self._categories: dict[ObjectId, Category] = {}
+        self._limits: dict[ObjectId, int] = {}
+        #: Replica cap applied to category-3 objects without an explicit
+        #: per-object limit.  1 means migrate-only, the paper's default.
+        self.non_commuting_replica_limit = non_commuting_replica_limit
+
+    def classify(
+        self, obj: ObjectId, category: Category, *, replica_limit: int | None = None
+    ) -> None:
+        """Assign a category (and optional replica limit) to an object.
+
+        A ``replica_limit`` is only meaningful for category-3 objects
+        ("it may still be beneficial to create a limited number of
+        replicas"); supplying one for other categories is an error.
+        """
+        if replica_limit is not None:
+            if category is not Category.NON_COMMUTING:
+                raise ConsistencyError(
+                    "replica limits only apply to NON_COMMUTING objects"
+                )
+            if replica_limit < 1:
+                raise ConsistencyError("replica limit must be at least 1")
+            self._limits[obj] = replica_limit
+        self._categories[obj] = category
+
+    def category(self, obj: ObjectId) -> Category:
+        return self._categories.get(obj, self._default)
+
+    def replica_limit(self, obj: ObjectId) -> int | None:
+        """Maximum replicas allowed, or ``None`` for unlimited."""
+        category = self.category(obj)
+        if category is Category.NON_COMMUTING:
+            return self._limits.get(obj, self.non_commuting_replica_limit)
+        return None
+
+    def may_replicate(self, obj: ObjectId, current_replicas: int) -> bool:
+        """Whether creating one more replica of ``obj`` is permitted."""
+        limit = self.replica_limit(obj)
+        return limit is None or current_replicas < limit
+
+    def may_migrate(self, obj: ObjectId) -> bool:
+        """Migration never increases the replica count; always allowed."""
+        return True

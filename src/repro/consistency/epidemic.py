@@ -1,0 +1,57 @@
+"""Batched (epidemic-style) update propagation.
+
+Section 5 allows updates to propagate "either immediately or in batches
+using epidemic mechanisms" (citing Demers et al.'s anti-entropy work).
+:class:`EpidemicBatcher` accumulates dirty objects and flushes them on a
+fixed period, amortising propagation cost for write-heavy providers at
+the price of a bounded staleness window (one flush period).
+"""
+
+from __future__ import annotations
+
+from repro.consistency.primary_copy import PrimaryCopyManager
+from repro.errors import ConsistencyError
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.types import ObjectId, Time
+
+
+class EpidemicBatcher:
+    """Periodically flushes pending updates through a primary-copy manager."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        manager: PrimaryCopyManager,
+        *,
+        period: float = 60.0,
+    ) -> None:
+        if period <= 0:
+            raise ConsistencyError(f"flush period must be positive, got {period}")
+        self._manager = manager
+        self._dirty: set[ObjectId] = set()
+        self.period = period
+        self.flushes = 0
+        self._process = PeriodicProcess(sim, period, self._flush)
+
+    @property
+    def pending(self) -> int:
+        """Objects with updates awaiting the next flush."""
+        return len(self._dirty)
+
+    def mark_dirty(self, obj: ObjectId) -> None:
+        """Record that ``obj`` was updated and needs propagation."""
+        self._dirty.add(obj)
+
+    def _flush(self, now: Time) -> None:
+        for obj in sorted(self._dirty):
+            self._manager.propagate(obj)
+        self._dirty.clear()
+        self.flushes += 1
+
+    def flush_now(self) -> None:
+        """Force an immediate flush outside the periodic schedule."""
+        self._flush(0.0)
+
+    def stop(self) -> None:
+        self._process.stop()

@@ -1,0 +1,69 @@
+"""Commuting-statistics merging (Section 5, category-2 objects).
+
+Category-2 objects are those whose only per-access modification is
+"collecting access statistics or other commuting updates".  They remain
+replicable under the paper's protocol "if a mechanism is provided for
+merging access statistics recorded by different replicas" — this module
+is that mechanism: per-replica counters are kept locally and merged by
+addition, which is correct precisely because the updates commute.
+
+If the application serves the statistics *in* the content and requires
+them always current, the object degrades to category 3 (the policy layer
+handles that distinction).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping
+
+from repro.types import NodeId, ObjectId
+
+
+class CountingStats:
+    """Per-replica access counters for one category-2 object."""
+
+    __slots__ = ("obj", "_counts")
+
+    def __init__(self, obj: ObjectId) -> None:
+        self.obj = obj
+        self._counts: Counter[NodeId] = Counter()
+
+    def record_access(self, replica_host: NodeId, count: int = 1) -> None:
+        """A replica recorded ``count`` accesses locally."""
+        if count < 0:
+            raise ValueError(f"access count must be non-negative, got {count}")
+        self._counts[replica_host] += count
+
+    def local_count(self, replica_host: NodeId) -> int:
+        return self._counts[replica_host]
+
+    def merged_total(self) -> int:
+        """The globally merged access count (sum over replicas)."""
+        return sum(self._counts.values())
+
+    def snapshot(self) -> dict[NodeId, int]:
+        return dict(self._counts)
+
+    def transfer(self, source: NodeId, target: NodeId) -> None:
+        """Fold ``source``'s counter into ``target`` (replica dropped).
+
+        The merged total is invariant under transfers — the property the
+        paper's category-2 replicability rests on.
+        """
+        if source == target:
+            return
+        self._counts[target] += self._counts.pop(source, 0)
+
+
+def merge_counts(
+    partials: Iterable[Mapping[NodeId, int]],
+) -> dict[NodeId, int]:
+    """Merge several per-replica counter snapshots by addition."""
+    merged: Counter[NodeId] = Counter()
+    for partial in partials:
+        for host, count in partial.items():
+            if count < 0:
+                raise ValueError(f"negative count {count} for host {host}")
+            merged[host] += count
+    return dict(merged)

@@ -1,0 +1,147 @@
+"""Primary-copy update propagation (Section 5, category-1 objects).
+
+"Consistency of these updates can be maintained by using the primary copy
+approach, with the node hosting the original copy of the object acting as
+the primary.  Depending on the needs of the application, updates can
+propagate from the primary asynchronously to the rest of currently
+existing replicas either immediately or in batches using epidemic
+mechanisms.  These objects can be replicated or migrated freely, provided
+the location of the primary copy is tracked by the object's redirector."
+
+:class:`PrimaryCopyManager` tracks each object's primary (following it
+through migrations), applies content-provider updates at the primary,
+and propagates them to the currently registered replica set — either
+immediately or batched through an :class:`~repro.consistency.epidemic.
+EpidemicBatcher` — charging the update bytes to the backbone.  Versions
+are monotone counters; replicas converge to the primary's version once
+propagation reaches them (plus, for fresh copies, at CreateObj time,
+since the copied bytes are by definition current).
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import HostingSystem
+from repro.errors import ConsistencyError
+from repro.network.message import MessageClass
+from repro.types import NodeId, ObjectId
+
+
+class PrimaryCopyManager:
+    """Tracks primaries and propagates asynchronous updates."""
+
+    def __init__(
+        self,
+        system: HostingSystem,
+        *,
+        immediate: bool = True,
+    ) -> None:
+        self._system = system
+        self._immediate = immediate
+        self._primary: dict[ObjectId, NodeId] = {}
+        self._versions: dict[tuple[ObjectId, NodeId], int] = {}
+        self._primary_version: dict[ObjectId, int] = {}
+        #: Updates applied at primaries (provider writes).
+        self.updates_applied = 0
+        #: Update messages propagated to replicas.
+        self.updates_propagated = 0
+        for service in system.redirectors.services:
+            service.add_observer(self._on_replica_change)
+
+    # ------------------------------------------------------------------
+    # Replica-set tracking
+    # ------------------------------------------------------------------
+
+    def _on_replica_change(
+        self,
+        obj: ObjectId,
+        host: NodeId,
+        affinity: int,
+        created: bool,
+        dropped: bool,
+    ) -> None:
+        if created:
+            if obj not in self._primary:
+                # First registration: the original copy is the primary.
+                self._primary[obj] = host
+                self._primary_version[obj] = 0
+            # A fresh copy carries the current content.
+            self._versions[(obj, host)] = self._primary_version[obj]
+        elif dropped:
+            self._versions.pop((obj, host), None)
+            if self._primary.get(obj) == host:
+                # The primary migrated away; re-home it on a surviving
+                # replica (the redirector guarantees one exists).
+                survivors = self._system.redirectors.for_object(obj).replica_hosts(obj)
+                if not survivors:
+                    raise ConsistencyError(
+                        f"object {obj} lost its last replica"
+                    )  # pragma: no cover - redirector prevents this
+                self._primary[obj] = min(survivors)
+
+    def primary(self, obj: ObjectId) -> NodeId:
+        try:
+            return self._primary[obj]
+        except KeyError:
+            raise ConsistencyError(f"object {obj} has no tracked primary") from None
+
+    def version(self, obj: ObjectId, host: NodeId) -> int:
+        """The content version replica ``(obj, host)`` currently serves."""
+        try:
+            return self._versions[(obj, host)]
+        except KeyError:
+            raise ConsistencyError(f"no replica of {obj} on host {host}") from None
+
+    def primary_version(self, obj: ObjectId) -> int:
+        return self._primary_version.get(obj, 0)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def apply_update(self, obj: ObjectId, *, size: int | None = None) -> int:
+        """A content provider updates ``obj`` at its primary.
+
+        Returns the new version.  With immediate propagation the update
+        is pushed to every currently registered replica now; otherwise
+        the caller is expected to flush via an epidemic batcher.
+        """
+        primary = self.primary(obj)
+        version = self._primary_version.get(obj, 0) + 1
+        self._primary_version[obj] = version
+        self._versions[(obj, primary)] = version
+        self.updates_applied += 1
+        if self._immediate:
+            self.propagate(obj, size=size)
+        return version
+
+    def propagate(self, obj: ObjectId, *, size: int | None = None) -> int:
+        """Push the primary's version to all stale replicas.
+
+        Returns the number of replicas refreshed.  Update bytes (the full
+        object by default) are charged as UPDATE traffic from the primary
+        to each stale replica.
+        """
+        primary = self.primary(obj)
+        target_version = self._primary_version.get(obj, 0)
+        payload = self._system.object_size if size is None else size
+        refreshed = 0
+        for host in self._system.redirectors.for_object(obj).replica_hosts(obj):
+            if host == primary:
+                continue
+            if self._versions.get((obj, host), 0) < target_version:
+                self._system.network.account(
+                    primary, host, payload, MessageClass.UPDATE
+                )
+                self._versions[(obj, host)] = target_version
+                refreshed += 1
+                self.updates_propagated += 1
+        return refreshed
+
+    def stale_replicas(self, obj: ObjectId) -> list[NodeId]:
+        """Replicas currently serving an older version than the primary."""
+        target = self._primary_version.get(obj, 0)
+        return [
+            host
+            for host in self._system.redirectors.for_object(obj).replica_hosts(obj)
+            if self._versions.get((obj, host), 0) < target
+        ]

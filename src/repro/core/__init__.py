@@ -1,0 +1,33 @@
+"""The paper's primary contribution: dynamic replication and migration.
+
+This package implements the protocol suite of Sections 3–4:
+
+* :mod:`repro.core.config` — protocol parameters (Table 1 defaults) with
+  the paper's validity constraints (``4u < m``, ``REPL_RATIO <
+  MIGR_RATIO``, ``MIGR_RATIO > 0.5``, ``lw < hw``).
+* :mod:`repro.core.redirector` — the request-distribution algorithm
+  (Figure 2) plus the replica-set registry with its subset invariant.
+* :mod:`repro.core.object_store` — replicas and affinities held by a host.
+* :mod:`repro.core.host` — the hosting server: FCFS service, access-count
+  statistics over preference paths, load measurement and bound estimates.
+* :mod:`repro.core.placement` — the autonomous placement algorithm
+  (Figure 3) with geo-migration/replication and ``ReduceAffinity``.
+* :mod:`repro.core.create_obj` — the replica-creation handshake (Figure 4).
+* :mod:`repro.core.offload` — bulk host offloading (Figure 5).
+* :mod:`repro.core.protocol` — :class:`HostingSystem`, which wires hosts,
+  redirectors and the network into a runnable platform.
+"""
+
+from repro.core.config import ProtocolConfig
+from repro.core.host import HostServer
+from repro.core.object_store import ObjectStore
+from repro.core.protocol import HostingSystem
+from repro.core.redirector import RedirectorService
+
+__all__ = [
+    "ProtocolConfig",
+    "HostingSystem",
+    "HostServer",
+    "ObjectStore",
+    "RedirectorService",
+]

@@ -1,0 +1,115 @@
+"""The replica-creation handshake (Figure 4, ``CreateObj``).
+
+Executed by the *candidate* host ``p`` when host ``s`` asks it to accept
+a migration or replication of object ``x``.  The request carries the unit
+load ``load(x_s)/aff(x_s)`` so the candidate can bound its post-accept
+load using Theorems 2/4:
+
+* any request is refused while the candidate's (upper-estimate) load is
+  at or above the low watermark;
+* a **migration** is additionally refused if the upper-bound post-move
+  load ``load(p) + 4·ℓ/aff`` would exceed the high watermark — this
+  breaks the vicious cycle where an object load-migrates away from a
+  locally overloaded site only to geo-migrate straight back;
+* a **replication** has no such second check: "overloading a recipient
+  temporarily may be necessary in this case in order to bootstrap the
+  replication process", and each replication moves the system to a new
+  state so no cycle arises.
+
+On accept, the candidate copies the object (or increments its existing
+replica's affinity), notifies the redirector *after* the copy exists
+(preserving the registry-subset invariant), and bumps its own upper-bound
+load estimate by ``4·ℓ/aff``.
+
+All control datagrams and the object-copy bytes are charged to the
+backbone via the hosting system's network.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.load.bounds import replication_target_max_increase
+from repro.network.message import MessageClass
+from repro.types import (
+    NodeId,
+    ObjectId,
+    PlacementAction,
+    PlacementReason,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.protocol import HostingSystem
+
+
+def handle_create_obj(
+    system: "HostingSystem",
+    source: NodeId,
+    candidate: NodeId,
+    action: PlacementAction,
+    obj: ObjectId,
+    unit_load: float,
+    reason: PlacementReason,
+) -> bool:
+    """Run the CreateObj handshake; return True iff the candidate accepted.
+
+    ``unit_load`` is ``load(x_s)/aff(x_s)`` measured at the source.
+    Traffic is accounted whether or not the request is accepted (the
+    request/refusal datagrams still cross the backbone).
+    """
+    if action not in (PlacementAction.MIGRATE, PlacementAction.REPLICATE):
+        raise ValueError(f"CreateObj only handles MIGRATE/REPLICATE, got {action}")
+    network = system.network
+    control = system.control_bytes
+    # Request datagram s -> p and response p -> s.
+    network.account(source, candidate, control, MessageClass.CONTROL)
+    network.account(candidate, source, control, MessageClass.CONTROL)
+
+    host = system.hosts[candidate]
+    if not host.available:
+        return False
+    policy = system.consistency_policy
+    if (
+        policy is not None
+        and action is PlacementAction.REPLICATE
+        and obj not in host.store
+        and not policy.may_replicate(
+            obj, system.redirectors.for_object(obj).replica_count(obj)
+        )
+    ):
+        # Section 5: category-3 objects keep a bounded replica set; the
+        # protocol is unchanged except that excess replications are
+        # refused (migrations never change the replica count).
+        return False
+    if host.upper_load > host.low_watermark:
+        return False
+    if not host.has_storage_room(obj):
+        # Storage is the second component of the Section 2.1 vector load
+        # metric: a host whose store is full refuses new copies outright.
+        return False
+    max_increase = replication_target_max_increase(unit_load, 1)  # = 4 * unit_load
+    if (
+        action is PlacementAction.MIGRATE
+        and host.upper_load + max_increase > host.high_watermark
+    ):
+        return False
+
+    if obj in host.store:
+        affinity = host.store.add(obj)
+        copied_bytes = 0
+    else:
+        # Copy the object's bytes from the source host across the backbone.
+        copied_bytes = system.object_size
+        network.account(source, candidate, copied_bytes, MessageClass.RELOCATION)
+        affinity = host.store.add(obj)
+
+    # Notify the redirector of the new copy / affinity *after* the fact.
+    redirector = system.redirectors.for_object(obj)
+    network.account(candidate, redirector.node, control, MessageClass.CONTROL)
+    redirector.replica_created(obj, candidate, affinity)
+
+    host.estimator.note_acquired(max_increase, system.sim.now)
+    system.record_placement(
+        action, reason, obj, source=source, target=candidate, copied_bytes=copied_bytes
+    )
+    return True

@@ -1,0 +1,41 @@
+"""Gateway distributors — the platform's request entry points.
+
+Section 2: a client request reaches the "closest" gateway's distributor
+(via DNS-based redirection or anycast); the distributor forwards it to
+the object's redirector, which picks a host; the host sends the object
+back to the distributor, which relays it to the client.  In the paper's
+simulation model every backbone node is a gateway and generates client
+requests at a constant rate, so a distributor here is a thin, validated
+entry point bound to one gateway node.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ProtocolError
+from repro.types import NodeId, ObjectId, RequestRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.protocol import HostingSystem
+
+
+class Distributor:
+    """The request entry point at one gateway node."""
+
+    __slots__ = ("node", "_system", "requests_forwarded")
+
+    def __init__(self, node: NodeId, system: "HostingSystem") -> None:
+        self.node = node
+        self._system = system
+        #: Total client requests this distributor has forwarded.
+        self.requests_forwarded = 0
+
+    def submit(self, obj: ObjectId) -> RequestRecord:
+        """Forward a client request for ``obj`` into the platform."""
+        if not 0 <= obj < self._system.num_objects:
+            raise ProtocolError(
+                f"object id {obj} outside [0, {self._system.num_objects})"
+            )
+        self.requests_forwarded += 1
+        return self._system.submit_request(self.node, obj)

@@ -1,0 +1,68 @@
+"""Periodic load reports between hosts (offload recipient discovery).
+
+Figure 5's ``Offload`` begins with "find a host r with load(r) < lw"; the
+paper assumes "hosts periodically exchange load reports, so that each
+host knows a few probable candidates".  :class:`LoadReportBoard` models
+that directory: every host publishes its measured load once per
+measurement interval (the hosting system accounts the control traffic),
+and an offloading host queries the board for under-loaded candidates,
+ordered most-idle first.  Reports may be one interval stale — exactly the
+staleness a real gossip scheme would exhibit — which is why the actual
+offload request is still re-validated against the candidate's current
+upper-bound load estimate before any transfer.
+"""
+
+from __future__ import annotations
+
+from repro.types import NodeId, Time
+
+
+class LoadReportBoard:
+    """Latest reported load per host."""
+
+    __slots__ = ("_reports",)
+
+    def __init__(self) -> None:
+        self._reports: dict[NodeId, tuple[Time, float]] = {}
+
+    def report(self, node: NodeId, load: float, time: Time) -> None:
+        """Record a host's periodic load report."""
+        self._reports[node] = (time, load)
+
+    def reported_load(self, node: NodeId) -> float | None:
+        """The last load a host reported, or ``None`` if never reported."""
+        entry = self._reports.get(node)
+        return entry[1] if entry is not None else None
+
+    def candidates_below(
+        self, threshold: float, *, exclude: NodeId
+    ) -> list[NodeId]:
+        """Hosts whose last report was below ``threshold``, most idle first.
+
+        The excluded node (the offloader itself) is never returned.  Ties
+        are broken by node id for determinism.
+        """
+        eligible = [
+            (load, node)
+            for node, (_, load) in self._reports.items()
+            if node != exclude and load < threshold
+        ]
+        eligible.sort()
+        return [node for _, node in eligible]
+
+    def candidates(self, *, exclude: NodeId) -> list[tuple[NodeId, float]]:
+        """All reporting hosts (except ``exclude``) most idle first.
+
+        Used with per-host thresholds (heterogeneous watermarks): the
+        caller filters each candidate against its own low watermark.
+        """
+        eligible = [
+            (load, node)
+            for node, (_, load) in self._reports.items()
+            if node != exclude
+        ]
+        eligible.sort()
+        return [(node, load) for load, node in eligible]
+
+    def __len__(self) -> int:
+        return len(self._reports)

@@ -1,0 +1,122 @@
+"""Bulk host offloading (Figure 5, ``Offload``).
+
+When a host is in offloading mode and a DecidePlacement pass moved
+nothing, it sheds objects *en masse* to a single under-loaded recipient —
+the key responsiveness feature the bound theorems enable: instead of
+moving one object and waiting a measurement interval to observe the
+effect, the host updates a running lower-bound estimate of its own load
+(Theorems 1/3) and an upper-bound estimate of the recipient's load
+(Theorems 2/4) after each transfer, and keeps going until either estimate
+crosses the low watermark.
+
+Objects are examined in decreasing order of their *foreign-request*
+fraction (the best candidate node's share of the object's preference
+paths): objects mostly requested from elsewhere are the cheapest to evict
+proximity-wise.  Objects whose unit access rate exceeds the replication
+threshold ``m`` are only replicated, never load-migrated, because
+migrating them out "might undo a previous geo-replication".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.create_obj import handle_create_obj
+from repro.core.placement import PlacementEngine
+from repro.load.bounds import (
+    migration_source_max_decrease,
+    replication_source_max_decrease,
+    replication_target_max_increase,
+)
+from repro.types import NodeId, ObjectId, PlacementAction, PlacementReason, Time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.host import HostServer
+    from repro.core.protocol import HostingSystem
+
+
+def _foreign_fraction(
+    host: "HostServer", obj: ObjectId
+) -> float:
+    """Highest share of the object's paths any *other* node appears on."""
+    counts = host.object_access_counts(obj)
+    total = counts.get(host.node, 0)
+    if total == 0:
+        return 0.0
+    best = max(
+        (count for node, count in counts.items() if node != host.node),
+        default=0,
+    )
+    return best / total
+
+
+def run_offload(
+    system: "HostingSystem",
+    engine: PlacementEngine,
+    host: "HostServer",
+    now: Time,
+    elapsed: float,
+) -> int:
+    """Shed objects from ``host`` to one recipient; return objects moved."""
+    recipient = system.find_offload_recipient(host.node)
+    if recipient is None:
+        return 0
+    config = system.config
+    recipient_host = system.hosts[recipient]
+    # The recipient "responds to the requesting host with its load value":
+    # the running upper-bound estimate starts from that response.
+    recipient_load = recipient_host.upper_load
+
+    ordered = sorted(
+        host.store.objects(),
+        key=lambda obj: (-_foreign_fraction(host, obj), obj),
+    )
+    moved = 0
+    for obj in ordered:
+        if host.lower_load <= host.low_watermark:
+            break
+        if recipient_load >= recipient_host.low_watermark:
+            break
+        if obj not in host.store:
+            continue
+        affinity = host.store.affinity(obj)
+        total = host.total_access_count(obj)
+        unit_rate = total / affinity / elapsed if elapsed > 0 else 0.0
+        obj_load = host.meter.object_load(obj)
+        unit_load = obj_load / affinity
+        if unit_rate <= config.replication_threshold:
+            accepted = handle_create_obj(
+                system,
+                host.node,
+                recipient,
+                PlacementAction.MIGRATE,
+                obj,
+                unit_load,
+                PlacementReason.LOAD,
+            )
+            if not accepted:
+                break
+            engine.reduce_affinity(
+                host.node,
+                obj,
+                shed_bound=migration_source_max_decrease(obj_load, affinity),
+                record_drop=False,
+            )
+        else:
+            accepted = handle_create_obj(
+                system,
+                host.node,
+                recipient,
+                PlacementAction.REPLICATE,
+                obj,
+                unit_load,
+                PlacementReason.LOAD,
+            )
+            if not accepted:
+                break
+            host.estimator.note_shed(
+                replication_source_max_decrease(obj_load), now
+            )
+        recipient_load += replication_target_max_increase(unit_load, 1)
+        moved += 1
+    return moved

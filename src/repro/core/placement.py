@@ -1,0 +1,226 @@
+"""The replica placement algorithm (Figure 3, ``DecidePlacement``).
+
+Each host runs this autonomously every placement interval, using only its
+local control state (Section 4.1): per-object access counts over
+preference paths, its replica affinities, and its own load estimates.
+Per object, in order:
+
+1. **Drop**: if the unit access rate ``cnt(s,x)/aff(x)`` (normalised to
+   requests/sec over the observation window) is below the deletion
+   threshold ``u``, one affinity unit is dropped via ``ReduceAffinity``
+   (the redirector arbitrates so the last replica system-wide survives).
+2. **Geo-migration**: otherwise, candidates ``p`` appearing on more than
+   ``MIGR_RATIO`` of the object's preference paths are offered the object
+   farthest-first; the first to accept receives one affinity unit.
+3. **Geo-replication**: if not migrated and the unit access rate exceeds
+   the replication threshold ``m``, candidates above ``REPL_RATIO`` are
+   offered a replica, again farthest-first.
+
+If the host is in offloading mode and the pass moved nothing, the bulk
+``Offload`` protocol (Figure 5, :mod:`repro.core.offload`) runs.
+
+Access counts reset at the end of every run ("since the last execution of
+the replica placement algorithm").  Outgoing moves update the host's
+lower-bound load estimate using Theorems 1/3, mirroring how incoming
+moves bump the recipient's upper bound in ``CreateObj``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.core.create_obj import handle_create_obj
+from repro.load.bounds import (
+    migration_source_max_decrease,
+    replication_source_max_decrease,
+)
+from repro.network.message import MessageClass
+from repro.types import NodeId, ObjectId, PlacementAction, PlacementReason, Time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.host import HostServer
+    from repro.core.protocol import HostingSystem
+
+
+class AffinityOutcome(enum.Enum):
+    """Result of a ``ReduceAffinity`` attempt."""
+
+    REDUCED = "reduced"  # affinity decremented, replica remains
+    DROPPED = "dropped"  # last affinity unit removed, replica gone
+    REFUSED = "refused"  # redirector vetoed dropping the last replica
+
+
+class PlacementEngine:
+    """Runs DecidePlacement / ReduceAffinity on behalf of hosts."""
+
+    def __init__(self, system: "HostingSystem") -> None:
+        self._system = system
+
+    # ------------------------------------------------------------------
+    # ReduceAffinity (Figure 3, bottom)
+    # ------------------------------------------------------------------
+
+    def reduce_affinity(
+        self,
+        node: NodeId,
+        obj: ObjectId,
+        *,
+        shed_bound: float | None = None,
+        record_drop: bool = True,
+    ) -> AffinityOutcome:
+        """Drop one affinity unit of ``obj`` on ``node``.
+
+        When the local affinity exceeds 1 the host simply decrements it
+        and informs the redirector.  At affinity 1 the host must ask the
+        redirector for permission: the redirector refuses if this is the
+        object's last replica ("disallowing the last one"), otherwise it
+        deregisters the replica *before* the host drops the bytes.
+
+        ``shed_bound``, if given, is the Theorem 1/3 maximum load decrease
+        recorded against the host's lower-bound estimate (used when the
+        reduction is part of a migration or offload).
+        """
+        system = self._system
+        host = system.hosts[node]
+        redirector = system.redirectors.for_object(obj)
+        control = system.control_bytes
+        affinity = host.store.affinity(obj)
+        if affinity > 1:
+            new_affinity = host.store.reduce(obj)
+            system.network.account(
+                node, redirector.node, control, MessageClass.CONTROL
+            )
+            redirector.affinity_reduced(obj, node, new_affinity)
+            outcome = AffinityOutcome.REDUCED
+        else:
+            # Intention-to-drop round trip with the redirector.
+            system.network.account(node, redirector.node, control, MessageClass.CONTROL)
+            system.network.account(redirector.node, node, control, MessageClass.CONTROL)
+            if not redirector.request_drop(obj, node):
+                return AffinityOutcome.REFUSED
+            host.store.drop(obj)
+            host.clear_object_state(obj)
+            if record_drop:
+                system.record_placement(
+                    PlacementAction.DROP,
+                    PlacementReason.GEO,
+                    obj,
+                    source=node,
+                    target=None,
+                )
+            outcome = AffinityOutcome.DROPPED
+        if shed_bound is not None:
+            host.estimator.note_shed(shed_bound, system.sim.now)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # DecidePlacement (Figure 3)
+    # ------------------------------------------------------------------
+
+    def run_host(self, node: NodeId, now: Time) -> bool:
+        """One placement round for ``node``; returns True if anything moved."""
+        system = self._system
+        host = system.hosts[node]
+        elapsed = now - host.last_placement_time
+        if elapsed <= 0:
+            return False
+        if host.relocations_frozen:
+            # Footnote 2: too many consecutive measurement intervals
+            # contained relocations; halt this round (without resetting
+            # the observation window) so a clean measurement can land.
+            return False
+        config = system.config
+        host.update_mode()
+        moved = False
+        relieved = False
+        for obj in host.store.objects():
+            if obj not in host.store:
+                continue  # removed earlier in this very round
+            affinity = host.store.affinity(obj)
+            counts = host.object_access_counts(obj)
+            total = counts.get(node, 0)
+            unit_rate = total / affinity / elapsed
+            if unit_rate < config.deletion_threshold:
+                outcome = self.reduce_affinity(node, obj)
+                if outcome is not AffinityOutcome.REFUSED:
+                    moved = True
+                continue
+            if self._try_geo_move(host, obj, affinity, counts, total, unit_rate):
+                moved = True
+                relieved = True
+        # Figure 3 gates Offload on "no objects were dropped, migrated or
+        # replicated".  We deliberately exclude drops from the gate: a
+        # dropped affinity unit had a unit access rate below u and sheds
+        # essentially no load, and a saturated host with a rotating tail
+        # of near-zero-rate replicas would otherwise never reach its
+        # relief valve (see DESIGN.md fidelity notes).
+        if host.offloading and not relieved:
+            system.run_offload(host, now, elapsed)
+        host.reset_access_counts(now)
+        return moved
+
+    def _try_geo_move(
+        self,
+        host: "HostServer",
+        obj: ObjectId,
+        affinity: int,
+        counts: dict[NodeId, int],
+        total: int,
+        unit_rate: float,
+    ) -> bool:
+        """Attempt geo-migration, then geo-replication.  True if moved."""
+        system = self._system
+        config = system.config
+        node = host.node
+        obj_load = host.meter.object_load(obj)
+        unit_load = obj_load / affinity
+
+        migration_candidates = [
+            p
+            for p, count in counts.items()
+            if p != node and count / total > config.migr_ratio
+        ]
+        for candidate in system.routes.farthest_first(node, migration_candidates):
+            if handle_create_obj(
+                system,
+                node,
+                candidate,
+                PlacementAction.MIGRATE,
+                obj,
+                unit_load,
+                PlacementReason.GEO,
+            ):
+                # The source-side affinity reduction is part of the
+                # migration itself, not a separate drop event.
+                self.reduce_affinity(
+                    node,
+                    obj,
+                    shed_bound=migration_source_max_decrease(obj_load, affinity),
+                    record_drop=False,
+                )
+                return True
+
+        if unit_rate > config.replication_threshold:
+            replication_candidates = [
+                p
+                for p, count in counts.items()
+                if p != node and count / total > config.repl_ratio
+            ]
+            for candidate in system.routes.farthest_first(
+                node, replication_candidates
+            ):
+                if handle_create_obj(
+                    system,
+                    node,
+                    candidate,
+                    PlacementAction.REPLICATE,
+                    obj,
+                    unit_load,
+                    PlacementReason.GEO,
+                ):
+                    host.estimator.note_shed(
+                        replication_source_max_decrease(obj_load), system.sim.now
+                    )
+                    return True
+        return False

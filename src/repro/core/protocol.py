@@ -1,0 +1,460 @@
+"""The hosting platform: hosts + redirectors + network, wired together.
+
+:class:`HostingSystem` assembles the full system model of Section 2 and
+drives the request flow:
+
+    client -> gateway distributor -> redirector -> host -> distributor
+
+and the periodic protocol machinery: load measurement (every measurement
+interval), load reports to the recovery board, and per-host placement
+rounds (every placement interval, phase-staggered across hosts by
+default).
+
+Timing model
+------------
+Request legs are charged their real per-hop delays, and the (large)
+response is charged propagation plus transmission.  One simplification is
+made for simulation efficiency: the redirector's replica *choice* is
+computed when the request enters the platform rather than after the
+gateway-to-redirector propagation delay (tens of milliseconds).  The
+delay itself is still paid in full by the request; only the interleaving
+of choices across gateways shifts by that sub-100 ms margin, which is
+three orders of magnitude below the protocol's decision timescales
+(20 s measurements, 100 s placement rounds).
+
+Placement-protocol control messages and object copies are likewise
+applied at decision time while their bytes are charged to the backbone in
+full; a 12 KB object copy takes well under a second of transfer time
+against a 100 s placement interval.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.config import ProtocolConfig
+from repro.core.create_obj import handle_create_obj  # re-exported for tests
+from repro.core.distributor import Distributor
+from repro.core.host import HostServer
+from repro.core.load_board import LoadReportBoard
+from repro.core.offload import run_offload
+from repro.core.placement import PlacementEngine
+from repro.core.redirector import RedirectorGroup, RedirectorService
+from repro.errors import ProtocolError
+from repro.network.message import (
+    DEFAULT_CONTROL_BYTES,
+    DEFAULT_REQUEST_BYTES,
+    MessageClass,
+)
+from repro.network.transport import Network
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.types import (
+    NodeId,
+    ObjectId,
+    PlacementAction,
+    PlacementEvent,
+    PlacementReason,
+    RequestRecord,
+    Time,
+)
+
+__all__ = ["HostingSystem", "handle_create_obj"]
+
+RequestObserver = Callable[[RequestRecord], None]
+MeasurementObserver = Callable[[HostServer, Time], None]
+PlacementObserver = Callable[[PlacementEvent], None]
+
+#: How many board candidates an offloading host probes before giving up.
+MAX_RECIPIENT_PROBES = 5
+
+
+class HostingSystem:
+    """A complete simulated Internet hosting platform.
+
+    Parameters
+    ----------
+    sim, network:
+        The simulator and the backbone transport (which carries the
+        routing database and topology).
+    config:
+        Protocol parameters; see :class:`~repro.core.config.ProtocolConfig`.
+    num_objects:
+        Size of the hosted object namespace (object ids ``0..n-1``).
+    object_size:
+        Bytes per object (uniform, Table 1: 12 KB).
+    capacity:
+        Host service capacity in requests/sec (Table 1: 200).
+    redirector_nodes:
+        Nodes hosting redirectors.  Defaults to the single node with
+        minimum mean hop distance, as in the paper's evaluation.
+    redirector_factory:
+        Constructor for redirector services — override to swap in a
+        baseline request-distribution policy (round-robin, closest).
+    enable_placement:
+        When False, no placement processes run: the system becomes the
+        static-placement baseline the paper's figures compare against.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: ProtocolConfig,
+        *,
+        num_objects: int,
+        object_size: int = 12 * 1024,
+        capacity: float = 200.0,
+        request_bytes: int = DEFAULT_REQUEST_BYTES,
+        control_bytes: int = DEFAULT_CONTROL_BYTES,
+        redirector_nodes: Sequence[NodeId] | None = None,
+        redirector_factory: Callable[..., RedirectorService] | None = None,
+        enable_placement: bool = True,
+        consistency_policy: object | None = None,
+        host_weights: dict[NodeId, float] | None = None,
+        storage_limits: dict[NodeId, int] | None = None,
+    ) -> None:
+        if num_objects < 1:
+            raise ProtocolError("need at least one object")
+        if object_size <= 0:
+            raise ProtocolError("object size must be positive")
+        self.sim = sim
+        self.network = network
+        self.routes = network.routes
+        self.config = config
+        self.num_objects = num_objects
+        self.object_size = object_size
+        self.request_bytes = request_bytes
+        self.control_bytes = control_bytes
+        self.capacity = capacity
+        self.enable_placement = enable_placement
+        #: Optional :class:`~repro.consistency.categories.ConsistencyPolicy`
+        #: enforcing Section 5 replica limits in the CreateObj path.
+        self.consistency_policy = consistency_policy
+
+        topology = self.routes.topology
+        weights = host_weights or {}
+        limits = storage_limits or {}
+        self.hosts: dict[NodeId, HostServer] = {
+            node: HostServer(
+                node,
+                config,
+                # A host's power weight scales both its service capacity
+                # and its watermarks (Section 2's heterogeneity note).
+                capacity=capacity * weights.get(node, 1.0),
+                weight=weights.get(node, 1.0),
+                storage_limit=limits.get(node),
+                start=sim.now,
+            )
+            for node in topology.nodes
+        }
+        self.distributors: dict[NodeId, Distributor] = {
+            node: Distributor(node, self) for node in topology.nodes
+        }
+
+        if redirector_nodes is None:
+            redirector_nodes = [self.routes.min_mean_distance_node()]
+        factory = redirector_factory or RedirectorService
+        services = [
+            factory(
+                node,
+                self.routes,
+                distribution_constant=config.distribution_constant,
+            )
+            for node in redirector_nodes
+        ]
+        self.redirectors = RedirectorGroup(services)
+        self.board = LoadReportBoard()
+        #: Node receiving load reports (co-located with the first redirector).
+        self.board_node: NodeId = redirector_nodes[0]
+        self.engine = PlacementEngine(self)
+
+        self.placement_events: list[PlacementEvent] = []
+        self.request_observers: list[RequestObserver] = []
+        self.measurement_observers: list[MeasurementObserver] = []
+        self.placement_observers: list[PlacementObserver] = []
+        self._processes: list[PeriodicProcess] = []
+        self._started = False
+        #: Requests that found their chosen replica already gone and were
+        #: re-routed (should be rare; tracked for the invariant tests).
+        self.rerouted_requests = 0
+        #: Requests dropped by saturated hosts (queue overflow).
+        self.dropped_requests = 0
+        #: Requests that found no available replica (failed hosts).
+        self.failed_requests = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def place_initial(self, obj: ObjectId, node: NodeId) -> None:
+        """Install the original copy of ``obj`` on ``node``."""
+        host = self.hosts[node]
+        if obj in host.store:
+            raise ProtocolError(f"object {obj} already placed on {node}")
+        host.store.add(obj)
+        self.redirectors.for_object(obj).register_initial(obj, node)
+
+    def initialize_round_robin(self) -> None:
+        """Paper's initial assignment: object ``i`` on node ``i mod n``."""
+        n = self.routes.num_nodes
+        for obj in range(self.num_objects):
+            self.place_initial(obj, obj % n)
+
+    def start(self) -> None:
+        """Launch the periodic measurement and placement processes."""
+        if self._started:
+            raise ProtocolError("start() called twice")
+        self._started = True
+        config = self.config
+        n = self.routes.num_nodes
+        for node, host in self.hosts.items():
+            self._processes.append(
+                PeriodicProcess(
+                    self.sim,
+                    config.measurement_interval,
+                    self._make_measurement_tick(host),
+                )
+            )
+            if self.enable_placement:
+                # First placement fires one full interval after the phase
+                # offset, so load measurements exist before any host makes
+                # a placement decision (a cold-start artifact the paper's
+                # always-running hosts never face: deciding with all loads
+                # reading zero floods the hubs with geo-migrations).
+                offset = (
+                    (node + 1) / n * config.placement_interval
+                    if config.stagger_placement
+                    else 0.0
+                )
+                self._processes.append(
+                    PeriodicProcess(
+                        self.sim,
+                        config.placement_interval,
+                        self._make_placement_tick(node),
+                        start=self.sim.now + offset,
+                    )
+                )
+
+    def stop(self) -> None:
+        """Stop all periodic processes (used by tests)."""
+        for process in self._processes:
+            process.stop()
+        self._processes.clear()
+
+    def _make_measurement_tick(self, host: HostServer) -> Callable[[Time], None]:
+        def tick(now: Time) -> None:
+            if not host.available:
+                return
+            load = host.measure(now)
+            # Load report to the board (small control datagram).
+            self.network.account(
+                host.node, self.board_node, self.control_bytes, MessageClass.CONTROL
+            )
+            self.board.report(host.node, load, now)
+            for observer in self.measurement_observers:
+                observer(host, now)
+
+        return tick
+
+    def _make_placement_tick(self, node: NodeId) -> Callable[[Time], None]:
+        def tick(now: Time) -> None:
+            if self.hosts[node].available:
+                self.engine.run_host(node, now)
+
+        return tick
+
+    # ------------------------------------------------------------------
+    # Request flow
+    # ------------------------------------------------------------------
+
+    def submit_request(self, gateway: NodeId, obj: ObjectId) -> RequestRecord:
+        """A client request enters the platform at ``gateway``."""
+        record = RequestRecord(
+            obj=obj, gateway=gateway, server=-1, issued_at=self.sim.now
+        )
+        redirector = self.redirectors.for_object(obj)
+        hops1, delay1 = self.network.account(
+            gateway, redirector.node, self.request_bytes, MessageClass.REQUEST
+        )
+        server = redirector.choose_replica(gateway, obj)
+        if server is None:
+            return self._fail_request(record)
+        hops2, delay2 = self.network.account(
+            redirector.node, server, self.request_bytes, MessageClass.REQUEST
+        )
+        record.request_hops = hops1 + hops2
+        delay = delay1 + delay2
+        if delay > 0:
+            self.sim.schedule_after(delay, self._arrive_at_host, server, record)
+        else:
+            self.sim.schedule_at(self.sim.now, self._arrive_at_host, server, record)
+        return record
+
+    def _fail_request(self, record: RequestRecord) -> RequestRecord:
+        """No available replica: the request cannot be serviced."""
+        record.failed = True
+        record.completed_at = self.sim.now
+        self.failed_requests += 1
+        for observer in self.request_observers:
+            observer(record)
+        return record
+
+    def _arrive_at_host(self, server: NodeId, record: RequestRecord) -> None:
+        host = self.hosts[server]
+        if record.obj not in host.store or not host.available:
+            # The chosen replica was dropped while the request was in
+            # flight (drop-before-the-fact means the redirector already
+            # knows), or its host failed; forward to a currently
+            # registered, available replica.
+            self.rerouted_requests += 1
+            redirector = self.redirectors.for_object(record.obj)
+            new_server = redirector.choose_replica(record.gateway, record.obj)
+            if new_server is None:
+                self._fail_request(record)
+                return
+            hops, delay = self.network.account(
+                server, new_server, self.request_bytes, MessageClass.REQUEST
+            )
+            record.request_hops += hops
+            self.sim.schedule_after(delay, self._arrive_at_host, new_server, record)
+            return
+        now = self.sim.now
+        admitted = host.enqueue(now)
+        record.server = server
+        if admitted is None:
+            # Queue overflow: the request is dropped without a response
+            # (Section 6.1's real-world behaviour).  Observers see the
+            # record with ``dropped`` set so drop rates can be reported.
+            record.dropped = True
+            record.completed_at = now
+            self.dropped_requests += 1
+            for observer in self.request_observers:
+                observer(record)
+            return
+        start, completion = admitted
+        record.queue_delay = start - now
+        record.service_time = host.service_time
+        self.sim.schedule_at(completion, self._complete_service, host, record)
+
+    def _complete_service(self, host: HostServer, record: RequestRecord) -> None:
+        path = self.routes.preference_path(host.node, record.gateway)
+        host.record_service(record.obj, path)
+        hops, delay = self.network.account(
+            host.node, record.gateway, self.object_size, MessageClass.RESPONSE
+        )
+        record.response_hops = hops
+        if delay > 0:
+            self.sim.schedule_after(delay, self._finish_request, record)
+        else:
+            self._finish_request(record)
+
+    def _finish_request(self, record: RequestRecord) -> None:
+        record.completed_at = self.sim.now
+        for observer in self.request_observers:
+            observer(record)
+
+    # ------------------------------------------------------------------
+    # Placement support
+    # ------------------------------------------------------------------
+
+    def find_offload_recipient(self, source: NodeId) -> NodeId | None:
+        """Probe board candidates for a recipient below its low watermark.
+
+        Each host is judged against its *own* watermark (heterogeneous
+        hosts have weight-scaled watermarks); probes are most-idle first
+        and each costs a control round trip.
+        """
+        probed = 0
+        for candidate, reported in self.board.candidates(exclude=source):
+            host = self.hosts[candidate]
+            if reported >= host.low_watermark:
+                continue
+            probed += 1
+            if probed > MAX_RECIPIENT_PROBES:
+                break
+            # Offload request/response round trip.
+            self.network.account(
+                source, candidate, self.control_bytes, MessageClass.CONTROL
+            )
+            self.network.account(
+                candidate, source, self.control_bytes, MessageClass.CONTROL
+            )
+            if host.upper_load < host.low_watermark:
+                return candidate
+        return None
+
+    def run_offload(self, host: HostServer, now: Time, elapsed: float) -> int:
+        """Delegate to the Figure 5 offload protocol."""
+        return run_offload(self, self.engine, host, now, elapsed)
+
+    def record_placement(
+        self,
+        action: PlacementAction,
+        reason: PlacementReason,
+        obj: ObjectId,
+        *,
+        source: NodeId,
+        target: NodeId | None,
+        copied_bytes: int = 0,
+    ) -> None:
+        """Log one replica-set change and notify observers."""
+        event = PlacementEvent(
+            time=self.sim.now,
+            action=action,
+            reason=reason,
+            obj=obj,
+            source=source,
+            target=target,
+            copied_bytes=copied_bytes,
+        )
+        self.placement_events.append(event)
+        for observer in self.placement_observers:
+            observer(event)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def total_replicas(self) -> int:
+        """Physical replicas currently registered, over all objects."""
+        return self.redirectors.total_replicas()
+
+    def replicas_per_object(self) -> float:
+        """Mean physical replicas per object (Table 2's metric)."""
+        return self.total_replicas() / self.num_objects
+
+    def replica_hosts(self, obj: ObjectId) -> list[NodeId]:
+        return self.redirectors.for_object(obj).replica_hosts(obj)
+
+    def check_invariants(self) -> None:
+        """Assert cross-component invariants (used heavily by tests).
+
+        * The redirector's replica set is a subset of replicas that
+          physically exist, with matching affinities.
+        * Every object has at least one replica.
+        * Every physically hosted replica is registered (no leaks).
+        """
+        registered: set[tuple[ObjectId, NodeId]] = set()
+        for obj in range(self.num_objects):
+            redirector = self.redirectors.for_object(obj)
+            hosts = redirector.replica_hosts(obj)
+            if not hosts:
+                raise ProtocolError(f"object {obj} has no registered replicas")
+            for node in hosts:
+                registered.add((obj, node))
+                store = self.hosts[node].store
+                if obj not in store:
+                    raise ProtocolError(
+                        f"redirector lists {obj} on {node} but host lacks it"
+                    )
+                if store.affinity(obj) != redirector.affinity(obj, node):
+                    raise ProtocolError(
+                        f"affinity mismatch for object {obj} on host {node}"
+                    )
+        for node, host in self.hosts.items():
+            for obj in host.store.objects():
+                if (obj, node) not in registered:
+                    raise ProtocolError(
+                        f"host {node} holds unregistered replica of {obj}"
+                    )

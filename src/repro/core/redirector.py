@@ -1,0 +1,278 @@
+"""The redirector: request distribution and the replica-set registry.
+
+Implements the ChooseReplica algorithm of Figure 2.  For each object the
+redirector responsible for it keeps, per replica, a *request count*
+``rcnt`` and the replica's *affinity* ``aff``; the ratio ``rcnt/aff`` is
+the replica's *unit request count*.  On a request from a client behind
+gateway ``g``:
+
+* ``p`` = the replica closest to ``g``; ``ratio1 = rcnt(x_p)/aff(x_p)``;
+* ``q`` = the replica with the smallest unit request count ``ratio2``;
+* if ``ratio1 / C > ratio2`` choose ``q``, else choose ``p``
+  (``C`` is the distribution constant, 2 in the paper);
+* the chosen replica's request count is incremented.
+
+The pseudocode in the published figure is garbled by OCR; this reading
+follows the paper's prose and reproduces its worked examples exactly (the
+closest of two equally-requested replicas always wins; a locally swamped
+replica keeps only ``2N/(n+1)`` of ``N`` requests once ``n`` replicas
+exist) — both are asserted by the test-suite.
+
+All request counts for an object reset to 1 whenever its replica set
+changes, so a fresh replica is not flooded while it "catches up".
+
+The registry preserves the invariant that the recorded replica set is a
+*subset* of replicas that actually exist (Section 4.2.1): creations are
+registered after the copy exists, deletions are approved *before* the
+host drops its copy, and the last replica of an object can never be
+dropped (:meth:`RedirectorService.request_drop` arbitrates).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ProtocolError
+from repro.routing.routes_db import RoutingDatabase
+from repro.types import NodeId, ObjectId, ReplicaInfo
+
+#: Observer signature for replica-set changes:
+#: ``(obj, host, affinity, created, dropped)``.
+ReplicaSetObserver = Callable[[ObjectId, NodeId, int, bool, bool], None]
+
+
+class RedirectorService:
+    """One redirector, responsible for a subset of the URL namespace.
+
+    In the paper the namespace is hash-partitioned across redirectors for
+    scalability; the evaluation co-locates a single redirector at the node
+    with minimum mean hop distance.  :class:`RedirectorGroup` (below)
+    provides the partitioning; each :class:`RedirectorService` manages the
+    per-object state for the objects hashed to it.
+    """
+
+    def __init__(
+        self,
+        node: NodeId,
+        routes: RoutingDatabase,
+        *,
+        distribution_constant: float = 2.0,
+    ) -> None:
+        if distribution_constant <= 1.0:
+            raise ProtocolError(
+                f"distribution constant must exceed 1, got {distribution_constant}"
+            )
+        self.node = node
+        self._routes = routes
+        self._constant = distribution_constant
+        self._replicas: dict[ObjectId, dict[NodeId, ReplicaInfo]] = {}
+        #: Hosts currently marked unavailable (failure masking): their
+        #: replicas stay registered but are never chosen.
+        self._down_hosts: set[NodeId] = set()
+        self._observers: list[ReplicaSetObserver] = []
+        #: Counters for analysis: how often the closest vs the
+        #: least-requested replica won the Figure 2 comparison.
+        self.chose_closest = 0
+        self.chose_least_requested = 0
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+
+    def add_observer(self, observer: ReplicaSetObserver) -> None:
+        """Observe replica-set changes (used by metrics collectors)."""
+        self._observers.append(observer)
+
+    def _notify(
+        self, obj: ObjectId, host: NodeId, affinity: int, created: bool, dropped: bool
+    ) -> None:
+        for observer in self._observers:
+            observer(obj, host, affinity, created, dropped)
+
+    def knows(self, obj: ObjectId) -> bool:
+        return obj in self._replicas
+
+    # ------------------------------------------------------------------
+    # Failure masking
+    # ------------------------------------------------------------------
+
+    def set_host_available(self, host: NodeId, available: bool) -> None:
+        """Mark every replica on ``host`` (un)eligible for selection.
+
+        Registrations are preserved across failures — the bytes are still
+        on the failed host's disk — but an unavailable replica is never
+        chosen and does not protect its object from last-replica drops.
+        """
+        if available:
+            self._down_hosts.discard(host)
+        else:
+            self._down_hosts.add(host)
+
+    def host_available(self, host: NodeId) -> bool:
+        return host not in self._down_hosts
+
+    def available_replica_hosts(self, obj: ObjectId) -> list[NodeId]:
+        """Hosts with a selectable (not failed) replica of ``obj``."""
+        return [
+            host for host in self._entry(obj) if host not in self._down_hosts
+        ]
+
+    def replica_hosts(self, obj: ObjectId) -> list[NodeId]:
+        """Hosts currently registered as holding ``obj``."""
+        return list(self._entry(obj))
+
+    def replica_count(self, obj: ObjectId) -> int:
+        return len(self._entry(obj))
+
+    def affinity(self, obj: ObjectId, host: NodeId) -> int:
+        return self._entry(obj)[host].affinity
+
+    def total_replicas(self) -> int:
+        """Total physical replicas over all objects this redirector owns."""
+        return sum(len(replicas) for replicas in self._replicas.values())
+
+    def _entry(self, obj: ObjectId) -> dict[NodeId, ReplicaInfo]:
+        try:
+            return self._replicas[obj]
+        except KeyError:
+            raise ProtocolError(f"redirector knows no replicas of object {obj}") from None
+
+    def register_initial(self, obj: ObjectId, host: NodeId) -> None:
+        """Register an object's original placement (no reset semantics)."""
+        if obj in self._replicas:
+            raise ProtocolError(f"object {obj} already registered")
+        self._replicas[obj] = {host: ReplicaInfo(host=host)}
+        self._notify(obj, host, 1, True, False)
+
+    def replica_created(self, obj: ObjectId, host: NodeId, affinity: int) -> None:
+        """A host reports a new copy or an affinity increase (after the fact)."""
+        replicas = self._entry(obj)
+        created = host not in replicas
+        if created:
+            if affinity != 1:
+                raise ProtocolError(
+                    f"new replica of {obj} on {host} must have affinity 1, "
+                    f"got {affinity}"
+                )
+            replicas[host] = ReplicaInfo(host=host, affinity=1)
+        else:
+            replicas[host].affinity = affinity
+        self._reset_counts(replicas)
+        self._notify(obj, host, affinity, created, False)
+
+    def affinity_reduced(self, obj: ObjectId, host: NodeId, affinity: int) -> None:
+        """A host reports a (non-final) affinity decrement."""
+        replicas = self._entry(obj)
+        if host not in replicas:
+            raise ProtocolError(f"host {host} holds no replica of {obj}")
+        if affinity < 1:
+            raise ProtocolError("use request_drop to remove the last affinity unit")
+        replicas[host].affinity = affinity
+        self._reset_counts(replicas)
+        self._notify(obj, host, affinity, False, False)
+
+    def request_drop(self, obj: ObjectId, host: NodeId) -> bool:
+        """Arbitrate a replica drop (affinity 1 -> 0).
+
+        Returns True and removes the registration if approved.  The last
+        remaining replica of an object is never approved for dropping, so
+        the object always stays available.  The registration is removed
+        *before* the host physically drops the copy, preserving the
+        subset invariant.
+        """
+        replicas = self._entry(obj)
+        if host not in replicas:
+            raise ProtocolError(f"host {host} holds no replica of {obj}")
+        survivors = [
+            other
+            for other in replicas
+            if other != host and other not in self._down_hosts
+        ]
+        if not survivors:
+            # Never approve dropping the last (available) replica.
+            return False
+        del replicas[host]
+        self._reset_counts(replicas)
+        self._notify(obj, host, 0, False, True)
+        return True
+
+    @staticmethod
+    def _reset_counts(replicas: dict[NodeId, ReplicaInfo]) -> None:
+        # "The redirector resets all request counts to 1 whenever it is
+        # notified of any changes to the replica set for the object."
+        for info in replicas.values():
+            info.request_count = 1
+
+    # ------------------------------------------------------------------
+    # Request distribution (Figure 2)
+    # ------------------------------------------------------------------
+
+    def choose_replica(self, gateway: NodeId, obj: ObjectId) -> NodeId | None:
+        """Pick the replica to service a request entering at ``gateway``.
+
+        Returns ``None`` when every replica of the object is on a failed
+        host (the request cannot be serviced until a host recovers).
+        """
+        replicas = self._entry(obj)
+        if len(replicas) == 1 and not self._down_hosts:
+            # Fast path: a sole replica always wins; still counted.
+            (info,) = replicas.values()
+            info.request_count += 1
+            self.chose_closest += 1
+            return info.host
+        row = self._routes.distance_row(gateway)
+        down = self._down_hosts
+        closest: ReplicaInfo | None = None
+        closest_key: tuple[int, float, int] = (0, 0.0, 0)
+        least: ReplicaInfo | None = None
+        least_ratio = 0.0
+        for host, info in replicas.items():
+            if host in down:
+                continue
+            ratio = info.request_count / info.affinity
+            # Equidistant replicas tie-break on unit request count: a
+            # fixed id-order tie-break would funnel every tie in the
+            # system to the same hub nodes and manufacture hot spots.
+            distance_key = (row[host], ratio, host)
+            if closest is None or distance_key < closest_key:
+                closest, closest_key = info, distance_key
+            if least is None or ratio < least_ratio or (
+                ratio == least_ratio and host < least.host
+            ):
+                least, least_ratio = info, ratio
+        if closest is None or least is None:
+            return None
+        ratio1 = closest.request_count / closest.affinity
+        if ratio1 / self._constant > least_ratio:
+            chosen = least
+            self.chose_least_requested += 1
+        else:
+            chosen = closest
+            self.chose_closest += 1
+        chosen.request_count += 1
+        return chosen.host
+
+
+class RedirectorGroup:
+    """Hash-partitions the object namespace across redirectors.
+
+    "For scalability, the load is divided among multiple redirectors by
+    hash-partitioning the URL namespace" (Section 2).  The same redirector
+    is always used for all requests to the same object.
+    """
+
+    def __init__(self, services: list[RedirectorService]) -> None:
+        if not services:
+            raise ProtocolError("a redirector group needs at least one service")
+        self._services = list(services)
+
+    @property
+    def services(self) -> list[RedirectorService]:
+        return list(self._services)
+
+    def for_object(self, obj: ObjectId) -> RedirectorService:
+        """The redirector responsible for ``obj`` (stable hash partition)."""
+        return self._services[obj % len(self._services)]
+
+    def total_replicas(self) -> int:
+        return sum(service.total_replicas() for service in self._services)

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything the library throws with a single handler
+while still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation engine."""
+
+
+class TopologyError(ReproError):
+    """Raised for malformed or unusable backbone topologies."""
+
+
+class RoutingError(ReproError):
+    """Raised when a route lookup cannot be satisfied."""
+
+
+class ProtocolError(ReproError):
+    """Raised for violations of the replication-protocol state machine."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid protocol or scenario configuration values."""
+
+
+class ConsistencyError(ReproError):
+    """Raised for replica-consistency violations (Section 5 machinery)."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload specifications."""

@@ -1,0 +1,17 @@
+"""Failure injection (robustness extension).
+
+The paper explicitly targets performance, not availability ("much of
+existing work on dynamic replication has concentrated on maintaining
+system availability during failures; in contrast, our work employs
+replication and migration for performance").  This package adds the
+availability dimension as an extension so the protocol's behaviour under
+host crashes can be studied: the :class:`~repro.failures.injector.
+FailureInjector` crashes and recovers hosts on a schedule (deterministic
+or random MTBF/MTTR), the redirectors mask failed replicas without
+deregistering them, in-flight requests re-route, and requests whose every
+replica is down fail visibly.
+"""
+
+from repro.failures.injector import FailureInjector
+
+__all__ = ["FailureInjector"]

@@ -1,0 +1,135 @@
+"""Host failure and recovery scheduling.
+
+A failed host services nothing: its queue is lost, it stops measuring and
+reporting load, refuses CreateObj, and every redirector masks its
+replicas.  Recovery restores the host with a cold queue and a cleared
+load history (its first post-recovery measurement interval rebuilds the
+metrics) — its replicas become selectable again, still holding whatever
+affinities they had (and, under primary-copy consistency, whatever
+content version they had: stale replicas refresh through the normal
+propagation path).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.protocol import HostingSystem
+from repro.errors import ProtocolError
+from repro.load.estimates import LoadEstimator
+from repro.load.metrics import LoadMeter
+from repro.sim.engine import Simulator
+from repro.types import NodeId, Time
+
+
+@dataclass(frozen=True, slots=True)
+class FailureEvent:
+    """A recorded failure or recovery, for analysis."""
+
+    time: Time
+    node: NodeId
+    failed: bool  # True = crash, False = recovery
+
+
+class FailureInjector:
+    """Crashes and recovers hosts on a schedule."""
+
+    def __init__(self, sim: Simulator, system: HostingSystem) -> None:
+        self._sim = sim
+        self._system = system
+        self.events: list[FailureEvent] = []
+
+    # ------------------------------------------------------------------
+    # Immediate actions
+    # ------------------------------------------------------------------
+
+    def fail(self, node: NodeId) -> None:
+        """Crash a host now.  Idempotent errors are rejected loudly."""
+        host = self._system.hosts[node]
+        if not host.available:
+            raise ProtocolError(f"host {node} is already failed")
+        host.available = False
+        for service in self._system.redirectors.services:
+            service.set_host_available(node, False)
+        self.events.append(FailureEvent(self._sim.now, node, True))
+
+    def recover(self, node: NodeId) -> None:
+        """Bring a failed host back, cold."""
+        host = self._system.hosts[node]
+        if host.available:
+            raise ProtocolError(f"host {node} is not failed")
+        host.available = True
+        # Cold restart: queue gone, load history reset; the estimator
+        # starts from zero and the first fresh measurement rebuilds it.
+        host.meter = LoadMeter(host.config.measurement_interval, start=self._sim.now)
+        host.estimator = LoadEstimator()
+        host.reset_access_counts(self._sim.now)
+        host.offloading = False
+        for service in self._system.redirectors.services:
+            service.set_host_available(node, True)
+        self.events.append(FailureEvent(self._sim.now, node, False))
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule_outage(self, node: NodeId, at: Time, duration: Time) -> None:
+        """Crash ``node`` at ``at`` and recover it ``duration`` later."""
+        if duration <= 0:
+            raise ProtocolError(f"outage duration must be positive, got {duration}")
+        self._sim.schedule_at(at, self.fail, node)
+        self._sim.schedule_at(at + duration, self.recover, node)
+
+    def schedule_random_outages(
+        self,
+        rng: random.Random,
+        *,
+        mtbf: float,
+        mttr: float,
+        horizon: Time,
+        nodes: list[NodeId] | None = None,
+    ) -> int:
+        """Exponential failure/repair schedule per node up to ``horizon``.
+
+        ``mtbf`` is the mean time between failures (from recovery to the
+        next crash), ``mttr`` the mean time to repair.  Outages are laid
+        out per node independently so no node's schedule overlaps itself.
+        Returns the number of outages scheduled.
+        """
+        if mtbf <= 0 or mttr <= 0:
+            raise ProtocolError("mtbf and mttr must be positive")
+        chosen = nodes if nodes is not None else list(self._system.hosts)
+        scheduled = 0
+        for node in chosen:
+            t = self._sim.now + rng.expovariate(1.0 / mtbf)
+            while t < horizon:
+                duration = rng.expovariate(1.0 / mttr)
+                if t + duration >= horizon:
+                    # Keep the schedule self-consistent: only complete
+                    # outages are injected.
+                    break
+                self.schedule_outage(node, t, duration)
+                scheduled += 1
+                t = t + duration + rng.expovariate(1.0 / mtbf)
+        return scheduled
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def downtime(self, node: NodeId, until: Time) -> float:
+        """Total seconds ``node`` spent failed in [0, until]."""
+        total = 0.0
+        down_since: Time | None = None
+        for event in self.events:
+            if event.node != node:
+                continue
+            if event.failed:
+                down_since = event.time
+            elif down_since is not None:
+                total += min(event.time, until) - down_since
+                down_since = None
+        if down_since is not None and down_since < until:
+            total += until - down_since
+        return total

@@ -1,0 +1,34 @@
+"""Load metrics, measurement intervals and the paper's bound theorems.
+
+Section 2.1 of the paper: hosts measure a uniform scalar load (here, the
+rate of serviced requests averaged over a *measurement interval*, 20 s in
+the simulation), can attribute a fraction of it to each hosted object,
+and — because a measurement taken right after a relocation does not yet
+reflect it — switch to *bound estimates* between a relocation and the
+next clean measurement.  Theorems 1–5 (Section 3) supply those bounds;
+:mod:`repro.load.bounds` implements them, :mod:`repro.load.estimates`
+maintains the per-host upper/lower estimate state, and
+:mod:`repro.load.metrics` implements measurement itself.
+"""
+
+from repro.load.bounds import (
+    migration_source_max_decrease,
+    migration_target_max_increase,
+    replication_source_max_decrease,
+    replication_target_max_increase,
+    post_replication_min_unit_count,
+    validate_thresholds,
+)
+from repro.load.estimates import LoadEstimator
+from repro.load.metrics import LoadMeter
+
+__all__ = [
+    "LoadMeter",
+    "LoadEstimator",
+    "replication_source_max_decrease",
+    "replication_target_max_increase",
+    "migration_source_max_decrease",
+    "migration_target_max_increase",
+    "post_replication_min_unit_count",
+    "validate_thresholds",
+]

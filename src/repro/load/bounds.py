@@ -1,0 +1,99 @@
+"""The load-change bound theorems (Section 3, Theorems 1–5).
+
+These closed-form bounds are the paper's central analytical contribution:
+they let a host predict, from purely local knowledge, how much load an
+object relocation can shift — enabling autonomous placement decisions and
+bulk (*en masse*) offloading without waiting for fresh measurements after
+every move.
+
+All bounds assume *steady demand* and no other concurrent relocations of
+the same object.  ``load`` denotes ℓ, the load on the source replica
+``x_i`` before the operation, and ``affinity`` its affinity.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def replication_source_max_decrease(load: float) -> float:
+    """Theorem 1: after *replicating* ``x_i`` elsewhere, the load on the
+    source host may decrease by at most ``(3/4) * load``.
+
+    Intuition: the new replica starts with request count reset to 1 and
+    the distribution algorithm's factor-2 rule still sends the closest
+    replica up to twice the requests of the least-requested one, so the
+    source retains at least a quarter of the object's load.
+    """
+    _require_nonnegative(load=load)
+    return 0.75 * load
+
+
+def replication_target_max_increase(load: float, affinity: int) -> float:
+    """Theorem 2: after host ``i`` replicates ``x`` onto host ``j``, the
+    load on ``j`` may increase by at most ``4 * load / affinity`` where
+    ``affinity`` is ``aff(x_i)`` before replication.
+    """
+    _require_nonnegative(load=load)
+    _require_positive_affinity(affinity)
+    return 4.0 * load / affinity
+
+
+def migration_source_max_decrease(load: float, affinity: int) -> float:
+    """Theorem 3: after *migrating* one affinity unit of ``x_i`` to ``j``,
+    the load on the source may decrease by at most
+    ``load/aff + (3/4) * load * (aff - 1) / aff``.
+
+    For ``aff == 1`` this is exactly ``load`` (the whole object left);
+    for large affinities it approaches the replication bound of ¾ℓ.
+    """
+    _require_nonnegative(load=load)
+    _require_positive_affinity(affinity)
+    return load / affinity + 0.75 * load * (affinity - 1) / affinity
+
+
+def migration_target_max_increase(load: float, affinity: int) -> float:
+    """Theorem 4: the migration recipient's load may increase by at most
+    ``4 * load / affinity`` (same bound as replication, Theorem 2).
+    """
+    return replication_target_max_increase(load, affinity)
+
+
+def post_replication_min_unit_count(m: float) -> float:
+    """Theorem 5: if hosts replicate only when the unit access count
+    exceeds ``m``, every replica's unit access count after replication is
+    bounded below by ``m / 4`` — even under concurrent independent
+    replications and migrations of the same object by other nodes.
+    """
+    _require_nonnegative(m=m)
+    return m / 4.0
+
+
+def validate_thresholds(deletion_threshold: float, replication_threshold: float) -> None:
+    """Enforce the stability constraint ``4u < m`` from Theorem 5.
+
+    With ``4u < m``, a freshly created replica (unit access count > m/4 >
+    u) can never be immediately dropped, so no replicate-then-delete
+    vicious cycles occur.  Raises :class:`ConfigurationError` otherwise.
+    """
+    if deletion_threshold < 0 or replication_threshold <= 0:
+        raise ConfigurationError(
+            "thresholds must satisfy u >= 0 and m > 0, got "
+            f"u={deletion_threshold}, m={replication_threshold}"
+        )
+    if not 4.0 * deletion_threshold < replication_threshold:
+        raise ConfigurationError(
+            "Theorem 5 stability constraint violated: need 4u < m, got "
+            f"u={deletion_threshold}, m={replication_threshold}"
+        )
+
+
+def _require_nonnegative(**values: float) -> None:
+    for name, value in values.items():
+        if value < 0:
+            raise ConfigurationError(f"{name} must be non-negative, got {value}")
+
+
+def _require_positive_affinity(affinity: int) -> None:
+    if affinity < 1:
+        raise ConfigurationError(f"affinity must be >= 1, got {affinity}")

@@ -1,0 +1,92 @@
+"""Per-host load bound estimates between measurements (Section 2.1).
+
+A load measurement taken right after a relocation does not reflect the
+relocation yet.  The paper's rule: once a host accepts an object it uses
+an *upper-limit* estimate of its post-acquisition load when deciding
+whether to honour further accept requests, and a *lower-limit* estimate
+when deciding whether it still needs to offload; it "returns to using
+actual load metrics only when its measurement interval starts after the
+last object had been acquired".
+
+:class:`LoadEstimator` maintains that state: a *base* load from the last
+clean measurement plus accumulated upper/lower adjustments from the bound
+theorems for every relocation since.
+"""
+
+from __future__ import annotations
+
+from repro.types import Time
+
+
+class LoadEstimator:
+    """Tracks measured load and its relocation-adjusted bound estimates."""
+
+    __slots__ = ("_base", "_upper_adj", "_lower_adj", "_last_relocation")
+
+    def __init__(self, initial_load: float = 0.0) -> None:
+        self._base = initial_load
+        self._upper_adj = 0.0
+        self._lower_adj = 0.0
+        self._last_relocation: Time | None = None
+
+    @property
+    def base_load(self) -> float:
+        """Load from the last clean (relocation-free) measurement."""
+        return self._base
+
+    @property
+    def upper(self) -> float:
+        """Upper-bound load estimate, used for accept decisions."""
+        return self._base + self._upper_adj
+
+    @property
+    def lower(self) -> float:
+        """Lower-bound load estimate, used for offload decisions."""
+        return max(0.0, self._base - self._lower_adj)
+
+    @property
+    def dirty(self) -> bool:
+        """True while estimates deviate from a clean measurement."""
+        return self._upper_adj != 0.0 or self._lower_adj != 0.0
+
+    def note_acquired(self, max_increase: float, now: Time) -> None:
+        """The host accepted an object; bump the upper estimate.
+
+        ``max_increase`` comes from Theorem 2/4 (``4 * load / aff``).
+        """
+        self._upper_adj += max_increase
+        self._last_relocation = now
+
+    def note_shed(self, max_decrease: float, now: Time) -> None:
+        """The host migrated/replicated an object away; lower estimate drops.
+
+        ``max_decrease`` comes from Theorem 1/3.
+        """
+        self._lower_adj += max_decrease
+        self._last_relocation = now
+
+    def on_measurement(
+        self, load: float, interval_start: Time
+    ) -> None:
+        """Fold in a periodic load measurement.
+
+        The measurement covered ``[interval_start, now]``.  If no
+        relocation happened at or after ``interval_start``, the
+        measurement is *clean*: it becomes the new base and the bound
+        adjustments reset.  Otherwise the measurement is unreliable and
+        the estimator keeps its previous base plus adjustments (the paper:
+        the host "returns to using actual load metrics only when its
+        measurement interval starts after the last object had been
+        acquired").
+        """
+        if self._last_relocation is None or self._last_relocation < interval_start:
+            self._base = load
+            self._upper_adj = 0.0
+            self._lower_adj = 0.0
+            self._last_relocation = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LoadEstimator base={self._base:.3f} "
+            f"[{self.lower:.3f}, {self.upper:.3f}]>"
+        )

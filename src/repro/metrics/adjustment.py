@@ -1,0 +1,49 @@
+"""Adjustment time (Table 2).
+
+"We compute the adjustment time as the time it takes to reach a bandwidth
+consumption that is 10% above the average equilibrium bandwidth
+consumption."  The equilibrium level is the mean of the tail of the
+bandwidth series; the adjustment time is the start of the first bucket
+from which the series never again exceeds ``(1 + margin) * equilibrium``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.metrics.collectors import TimeSeries
+from repro.types import Time
+
+
+def equilibrium_level(series: TimeSeries, *, tail: float = 0.25) -> float:
+    """The equilibrium value: mean over the final ``tail`` of the series."""
+    return series.mean_tail(tail)
+
+
+def adjustment_time(
+    series: TimeSeries,
+    *,
+    margin: float = 0.10,
+    tail: float = 0.25,
+) -> Time:
+    """Time at which the series settles within ``margin`` of equilibrium.
+
+    Returns the first sample time from which every subsequent value stays
+    at or below ``(1 + margin) * equilibrium``.  Raises if the series is
+    empty or never settles (the last sample above threshold is the final
+    one).
+    """
+    if len(series) == 0:
+        raise ConfigurationError("adjustment_time() of an empty series")
+    threshold = (1.0 + margin) * equilibrium_level(series, tail=tail)
+    last_above: int | None = None
+    for index, value in enumerate(series.values):
+        if value > threshold:
+            last_above = index
+    if last_above is None:
+        return series.times[0]
+    if last_above == len(series.values) - 1:
+        raise ConfigurationError(
+            "series never settles: final sample still above threshold "
+            f"({series.values[-1]:.3g} > {threshold:.3g})"
+        )
+    return series.times[last_above + 1]

@@ -1,0 +1,94 @@
+"""Backbone bandwidth accounting (Figures 6 and 7).
+
+"The bandwidth is determined by summing the number of bytes transmitted
+on each hop" — i.e. byte-hops.  The collector observes every network send
+and buckets byte-hops over time, split by traffic class, so the harness
+can report both the payload bandwidth trajectory (Figure 6) and the
+relocation overhead as a fraction of total traffic (Figure 7).
+"""
+
+from __future__ import annotations
+
+from repro.metrics.collectors import BucketedSeries, TimeSeries
+from repro.network.message import OVERHEAD_CLASSES, MessageClass
+from repro.network.transport import Network
+from repro.types import NodeId, Time
+
+
+class BandwidthCollector:
+    """Time-bucketed byte-hop accounting per traffic class."""
+
+    def __init__(self, network: Network, *, bucket: float = 60.0) -> None:
+        self.bucket = bucket
+        self._by_class: dict[MessageClass, BucketedSeries] = {
+            cls: BucketedSeries(bucket) for cls in MessageClass
+        }
+        network.add_observer(self._observe)
+
+    def _observe(
+        self,
+        time: Time,
+        source: NodeId,
+        target: NodeId,
+        hops: int,
+        size: int,
+        message_class: MessageClass,
+    ) -> None:
+        if hops:
+            self._by_class[message_class].add(time, float(size) * hops)
+
+    def class_series(self, message_class: MessageClass) -> TimeSeries:
+        """Byte-hops per bucket for one traffic class."""
+        return self._by_class[message_class].sums()
+
+    def total_series(self) -> TimeSeries:
+        """Byte-hops per bucket over all traffic classes."""
+        return self._merged(set(MessageClass))
+
+    def payload_series(self) -> TimeSeries:
+        """Byte-hops per bucket excluding relocation overhead.
+
+        This is the quantity Figure 6 plots: the traffic due to servicing
+        client requests (responses dominate; requests are small).
+        """
+        return self._merged(set(MessageClass) - set(OVERHEAD_CLASSES))
+
+    def overhead_series(self) -> TimeSeries:
+        """Byte-hops per bucket for relocation + control traffic."""
+        return self._merged(set(OVERHEAD_CLASSES))
+
+    def _merged(self, classes: set[MessageClass]) -> TimeSeries:
+        merged: dict[float, float] = {}
+        for cls in classes:
+            for time, value in self._by_class[cls].sums().items():
+                merged[time] = merged.get(time, 0.0) + value
+        series = TimeSeries()
+        if not merged:
+            return series
+        times = sorted(merged)
+        first, last = times[0], times[-1]
+        t = first
+        while t <= last + 1e-9:
+            series.append(t, merged.get(t, 0.0))
+            t += self.bucket
+        return series
+
+    def overhead_fraction_series(self) -> TimeSeries:
+        """Overhead byte-hops as a fraction of total, per bucket (Fig. 7)."""
+        total = dict(self.total_series().items())
+        series = TimeSeries()
+        for time, overhead in self.overhead_series().items():
+            denominator = total.get(time, 0.0)
+            series.append(time, overhead / denominator if denominator else 0.0)
+        return series
+
+    def total_byte_hops(self) -> float:
+        return sum(s.total() for s in self._by_class.values())
+
+    def overhead_byte_hops(self) -> float:
+        return sum(self._by_class[cls].total() for cls in OVERHEAD_CLASSES)
+
+    def overhead_fraction(self) -> float:
+        """Run-wide overhead share of total traffic."""
+        total = self.total_byte_hops()
+        return self.overhead_byte_hops() / total if total else 0.0

@@ -1,0 +1,98 @@
+"""Response latency accounting (Figure 6, right panes).
+
+A request's latency is queueing plus service at the host plus all network
+delays, including the distributor-to-redirector detour (the reason the
+paper's latency win is smaller than its bandwidth win).  The collector
+buckets completed-request latencies over time and keeps aggregate
+statistics; raw samples can optionally be retained for percentile
+analysis in small runs.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import HostingSystem
+from repro.errors import ConfigurationError
+from repro.metrics.collectors import BucketedSeries, TimeSeries
+from repro.types import RequestRecord
+
+
+class LatencyCollector:
+    """Mean response latency per time bucket plus run aggregates."""
+
+    def __init__(
+        self,
+        system: HostingSystem,
+        *,
+        bucket: float = 60.0,
+        keep_samples: bool = False,
+    ) -> None:
+        self._buckets = BucketedSeries(bucket)
+        self._hop_buckets = BucketedSeries(bucket)
+        self._drop_buckets = BucketedSeries(bucket)
+        self.dropped = 0
+        #: Requests that found no available replica (failure injection).
+        self.failed = 0
+        self.completed = 0
+        self.total_latency = 0.0
+        self.total_response_hops = 0
+        self.max_latency = 0.0
+        self.samples: list[float] | None = [] if keep_samples else None
+        system.request_observers.append(self._observe)
+
+    def _observe(self, record: RequestRecord) -> None:
+        if record.failed:
+            self.failed += 1
+            return
+        if record.dropped:
+            self.dropped += 1
+            self._drop_buckets.add(record.completed_at, 1.0)
+            return
+        latency = record.latency
+        self.completed += 1
+        self.total_latency += latency
+        self.total_response_hops += record.response_hops
+        if latency > self.max_latency:
+            self.max_latency = latency
+        self._buckets.add(record.completed_at, latency)
+        self._hop_buckets.add(record.completed_at, float(record.response_hops))
+        if self.samples is not None:
+            self.samples.append(latency)
+
+    def mean_latency_series(self) -> TimeSeries:
+        """Mean latency of requests completing in each bucket (Fig. 6)."""
+        return self._buckets.means()
+
+    def mean_response_hops_series(self) -> TimeSeries:
+        """Mean response hop count per bucket (a proximity proxy)."""
+        return self._hop_buckets.means()
+
+    def dropped_series(self) -> TimeSeries:
+        """Dropped requests per bucket (saturated-host rejections)."""
+        return self._drop_buckets.sums()
+
+    def drop_rate(self) -> float:
+        """Fraction of all observed requests that were dropped."""
+        total = self.completed + self.dropped
+        return self.dropped / total if total else 0.0
+
+    def mean_latency(self) -> float:
+        if not self.completed:
+            raise ConfigurationError("no completed requests")
+        return self.total_latency / self.completed
+
+    def mean_response_hops(self) -> float:
+        if not self.completed:
+            raise ConfigurationError("no completed requests")
+        return self.total_response_hops / self.completed
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile ``q`` in [0, 100]; needs ``keep_samples``."""
+        if self.samples is None:
+            raise ConfigurationError("collector built without keep_samples")
+        if not self.samples:
+            raise ConfigurationError("no completed requests")
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[index]

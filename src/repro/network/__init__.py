@@ -1,0 +1,20 @@
+"""Backbone network model: messages, links and transport.
+
+The paper's simulation charges each message the per-hop propagation delay
+plus transmission time, and measures bandwidth consumption "by summing the
+number of bytes transmitted on each hop" (Section 6.2).  Responses carry
+object data and dominate bandwidth; requests and the UDP control messages
+between distributors, redirectors and hosts are small; object relocation
+(replication/migration copies) is the protocol's *overhead* traffic
+(Figure 7).
+
+:class:`~repro.network.transport.Network` performs delay computation and
+per-hop byte accounting per traffic class; :class:`~repro.network.link.Link`
+tracks per-link counters for utilisation analysis.
+"""
+
+from repro.network.link import Link
+from repro.network.message import MessageClass
+from repro.network.transport import Network
+
+__all__ = ["Link", "MessageClass", "Network"]

@@ -1,0 +1,49 @@
+"""Per-link byte counters.
+
+Links are undirected and identified by a ``(min_id, max_id)`` node pair.
+The simulation does not model link-level queueing (the paper sizes server
+capacity so that "a backlog of messages" never builds up and measures
+propagation plus transmission delay only); links exist to attribute
+transmitted bytes to specific backbone edges for utilisation analysis.
+"""
+
+from __future__ import annotations
+
+from repro.network.message import MessageClass
+from repro.types import NodeId
+
+
+class Link:
+    """One undirected backbone link with per-class byte counters."""
+
+    __slots__ = ("a", "b", "bytes_by_class")
+
+    def __init__(self, a: NodeId, b: NodeId) -> None:
+        if a == b:
+            raise ValueError("a link must join two distinct nodes")
+        self.a, self.b = (a, b) if a < b else (b, a)
+        self.bytes_by_class: dict[MessageClass, int] = {
+            cls: 0 for cls in MessageClass
+        }
+
+    @property
+    def endpoints(self) -> tuple[NodeId, NodeId]:
+        return (self.a, self.b)
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes ever transmitted over this link, both directions."""
+        return sum(self.bytes_by_class.values())
+
+    def record(self, size: int, message_class: MessageClass) -> None:
+        """Account ``size`` bytes of ``message_class`` traffic."""
+        self.bytes_by_class[message_class] += size
+
+    def utilisation(self, elapsed: float, bandwidth_bps: float) -> float:
+        """Mean utilisation in [0, 1] over ``elapsed`` seconds."""
+        if elapsed <= 0 or bandwidth_bps <= 0:
+            return 0.0
+        return min(1.0, self.total_bytes / (elapsed * bandwidth_bps))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.a}-{self.b}: {self.total_bytes}B>"

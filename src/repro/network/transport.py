@@ -1,0 +1,180 @@
+"""Message transport with delay computation and bandwidth accounting.
+
+:class:`Network` is the single place where simulated messages cross the
+backbone.  For each send it
+
+* computes the end-to-end delay (per-hop propagation plus, for sizeable
+  messages, per-hop store-and-forward transmission time at the link
+  bandwidth — Table 1: 10 ms/hop and 350 KBps),
+* charges ``size`` bytes to every traversed link ("the bandwidth is
+  determined by summing the number of bytes transmitted on each hop",
+  Section 6.2), bucketed per traffic class,
+* optionally schedules a delivery callback on the simulator.
+
+Observers (metrics collectors) subscribe via :meth:`Network.add_observer`
+and receive ``(time, source, target, hops, size, message_class)`` for
+every send.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol
+
+from repro.errors import SimulationError
+from repro.network.link import Link
+from repro.network.message import MessageClass
+from repro.routing.routes_db import RoutingDatabase
+from repro.sim.engine import Simulator
+from repro.types import NodeId, Time
+
+#: Signature of a traffic observer.
+TrafficObserver = Callable[[Time, NodeId, NodeId, int, int, MessageClass], None]
+
+
+class Network:
+    """The backbone transport layer.
+
+    Parameters
+    ----------
+    sim:
+        The simulator used for delivery scheduling.
+    routes:
+        The routing database supplying canonical routes and hop counts.
+    hop_delay:
+        Per-hop propagation delay in seconds (paper: 10 ms).
+    bandwidth:
+        Link bandwidth in bytes/second (paper: 350 KB/s = 350_000).
+    store_and_forward:
+        When true (default), transmission time ``size / bandwidth`` is
+        paid on every hop; when false, only once end-to-end.
+    track_links:
+        When true (default), per-link byte counters are maintained.
+        Disable for very large scaled runs where only aggregate byte-hop
+        totals matter.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        routes: RoutingDatabase,
+        *,
+        hop_delay: float = 0.010,
+        bandwidth: float = 350_000.0,
+        store_and_forward: bool = True,
+        track_links: bool = True,
+    ) -> None:
+        if hop_delay < 0:
+            raise SimulationError(f"negative hop delay {hop_delay}")
+        if bandwidth <= 0:
+            raise SimulationError(f"bandwidth must be positive, got {bandwidth}")
+        self._sim = sim
+        self._routes = routes
+        self.hop_delay = hop_delay
+        self.bandwidth = bandwidth
+        self.store_and_forward = store_and_forward
+        self._observers: list[TrafficObserver] = []
+        self._links: dict[tuple[NodeId, NodeId], Link] | None = None
+        if track_links:
+            self._links = {
+                edge: Link(*edge) for edge in routes.topology.links()
+            }
+        #: Total byte-hops accumulated per traffic class over the run.
+        self.byte_hops: dict[MessageClass, float] = {
+            cls: 0.0 for cls in MessageClass
+        }
+
+    @property
+    def routes(self) -> RoutingDatabase:
+        return self._routes
+
+    @property
+    def sim(self) -> Simulator:
+        return self._sim
+
+    def add_observer(self, observer: TrafficObserver) -> None:
+        """Register a callback invoked for every message sent."""
+        self._observers.append(observer)
+
+    def link(self, a: NodeId, b: NodeId) -> Link:
+        """The :class:`Link` joining two adjacent nodes (if tracked)."""
+        if self._links is None:
+            raise SimulationError("per-link tracking is disabled")
+        key = (a, b) if a < b else (b, a)
+        try:
+            return self._links[key]
+        except KeyError:
+            raise SimulationError(f"no link between {a} and {b}") from None
+
+    def links(self) -> list[Link]:
+        """All tracked links."""
+        if self._links is None:
+            raise SimulationError("per-link tracking is disabled")
+        return list(self._links.values())
+
+    def delay(self, hops: int, size: int) -> Time:
+        """End-to-end delay for a ``size``-byte message over ``hops`` links."""
+        if hops == 0:
+            return 0.0
+        transmission = size / self.bandwidth
+        if self.store_and_forward:
+            return hops * (self.hop_delay + transmission)
+        return hops * self.hop_delay + transmission
+
+    def send(
+        self,
+        source: NodeId,
+        target: NodeId,
+        size: int,
+        message_class: MessageClass,
+        callback: Callable[..., Any] | None = None,
+        *args: Any,
+    ) -> tuple[int, Time]:
+        """Transmit a message, account its traffic, schedule delivery.
+
+        Returns ``(hops, delay)``.  A ``None`` callback performs
+        accounting and delay computation only (useful when the caller
+        folds several legs into one scheduled event for efficiency).
+        Local delivery (``source == target``) is free and immediate.
+        """
+        hops = self._routes.distance(source, target)
+        delay = self.delay(hops, size)
+        self._account(source, target, hops, size, message_class)
+        if callback is not None:
+            if delay > 0:
+                self._sim.schedule_after(delay, callback, *args)
+            else:
+                self._sim.schedule_at(self._sim.now, callback, *args)
+        return hops, delay
+
+    def account(
+        self,
+        source: NodeId,
+        target: NodeId,
+        size: int,
+        message_class: MessageClass,
+    ) -> tuple[int, Time]:
+        """Accounting-only variant of :meth:`send` (no event scheduled)."""
+        return self.send(source, target, size, message_class, None)
+
+    def _account(
+        self,
+        source: NodeId,
+        target: NodeId,
+        hops: int,
+        size: int,
+        message_class: MessageClass,
+    ) -> None:
+        self.byte_hops[message_class] += size * hops
+        if self._links is not None and hops:
+            route = self._routes.route(source, target)
+            for a, b in zip(route, route[1:]):
+                key = (a, b) if a < b else (b, a)
+                self._links[key].record(size, message_class)
+        if self._observers:
+            now = self._sim.now
+            for observer in self._observers:
+                observer(now, source, target, hops, size, message_class)
+
+    def total_byte_hops(self) -> float:
+        """Total traffic across all classes, in byte-hops."""
+        return sum(self.byte_hops.values())

@@ -1,0 +1,26 @@
+"""Routing databases and preference paths.
+
+Section 2 of the paper: replica-placement heuristics are driven by the
+routes messages take from a host to a client.  A host knows, for each
+client (gateway in the simulation model), the *preference path* — the
+sequence of hosts co-located with the routers on the route — "statically
+extracted (and periodically refreshed) from the routing database kept by
+the platform routers".
+
+:mod:`repro.routing.shortest_path` computes deterministic all-pairs
+shortest paths (when several equal-length routes exist, "one path is
+chosen for all requests" — we pick the lexicographically smallest, fixed
+per source/destination pair).  :class:`repro.routing.routes_db.RoutingDatabase`
+packages lookups, distance comparisons, and optional staleness modelling.
+"""
+
+from repro.routing.placement_opt import greedy_k_median, mean_detour
+from repro.routing.routes_db import RoutingDatabase
+from repro.routing.shortest_path import all_pairs_shortest_paths
+
+__all__ = [
+    "RoutingDatabase",
+    "all_pairs_shortest_paths",
+    "greedy_k_median",
+    "mean_detour",
+]

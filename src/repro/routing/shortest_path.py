@@ -1,0 +1,100 @@
+"""Deterministic all-pairs shortest paths over a backbone topology.
+
+All backbone links are identical (Table 1: a uniform per-hop delay and
+bandwidth), so shortest paths are breadth-first paths by hop count.  The
+paper notes that "when there are equidistant paths between nodes i and j,
+one path is chosen for all requests from i to j".  *Which* equal-length
+path is chosen matters more than it looks: a global lexicographic rule
+funnels every tie in the network through the lowest-numbered routers,
+manufacturing artificial concentration on a handful of nodes (every
+spoke's traffic would ride a single parent, which turns the placement
+algorithm's >60% migration test into a one-way pump toward hubs).  Real
+backbones hash ties per destination prefix (ECMP), so different
+destinations ride different equal-cost parents.  We reproduce that: ties
+are broken by a deterministic hash of ``(source, target, candidate)``,
+fixed for all time — the same pair always uses the same path, but
+different pairs split across the equal-cost options.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+
+from repro.errors import RoutingError
+from repro.topology.graph import Topology
+from repro.types import NodeId
+
+
+def _tie_key(source: NodeId, target: NodeId, candidate: NodeId) -> int:
+    digest = hashlib.blake2b(
+        f"{source}:{target}:{candidate}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _bfs_dag(
+    topology: Topology, source: NodeId
+) -> tuple[list[int], list[list[int]]]:
+    """BFS from ``source`` keeping *all* shortest-path predecessors.
+
+    Returns ``(dist, parents)`` where ``parents[v]`` lists every
+    neighbour of ``v`` lying on some shortest path from ``source``.
+    """
+    n = topology.num_nodes
+    dist = [-1] * n
+    parents: list[list[int]] = [[] for _ in range(n)]
+    dist[source] = 0
+    queue: deque[int] = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in topology.neighbors(node):
+            if dist[neighbor] == -1:
+                dist[neighbor] = dist[node] + 1
+                parents[neighbor].append(node)
+                queue.append(neighbor)
+            elif dist[neighbor] == dist[node] + 1:
+                parents[neighbor].append(node)
+    return dist, parents
+
+
+def all_pairs_shortest_paths(
+    topology: Topology,
+) -> tuple[list[list[int]], dict[tuple[NodeId, NodeId], tuple[NodeId, ...]]]:
+    """Compute hop distances and one canonical path per ordered pair.
+
+    Returns
+    -------
+    (dist, paths):
+        ``dist[i][j]`` is the hop count between ``i`` and ``j``;
+        ``paths[(i, j)]`` is the canonical node sequence from ``i`` to
+        ``j`` inclusive of both endpoints (``(i,)`` when ``i == j``).
+        Among equal-length paths, the hashed ECMP-style tie-break picks
+        one deterministically per ``(i, j)`` pair.
+
+    Raises :class:`RoutingError` if the topology is disconnected (which
+    :class:`~repro.topology.graph.Topology` normally prevents).
+    """
+    n = topology.num_nodes
+    dist_matrix: list[list[int]] = []
+    paths: dict[tuple[NodeId, NodeId], tuple[NodeId, ...]] = {}
+    for source in range(n):
+        dist, parents = _bfs_dag(topology, source)
+        if any(d == -1 for d in dist):
+            raise RoutingError(f"topology disconnected from node {source}")
+        dist_matrix.append(dist)
+        for target in range(n):
+            chain = [target]
+            node = target
+            while node != source:
+                options = parents[node]
+                if len(options) == 1:
+                    node = options[0]
+                else:
+                    node = min(
+                        options, key=lambda p: _tie_key(source, target, p)
+                    )
+                chain.append(node)
+            chain.reverse()
+            paths[(source, target)] = tuple(chain)
+    return dist_matrix, paths

@@ -1,0 +1,111 @@
+"""Scenario configuration: everything needed to reproduce one run.
+
+Field defaults reproduce Table 1 of the paper (low-load watermarks).
+``scaled`` produces a cheaper but dynamics-preserving variant: objects,
+request rate, capacity and watermarks shrink together, so per-object
+request rates (the quantities compared against the deletion/replication
+thresholds) and relative server utilisation are unchanged, while total
+event count drops by the scale factor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.core.config import ProtocolConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioConfig:
+    """One simulation run, fully specified."""
+
+    name: str = "paper"
+    workload: str = "zipf"
+    seed: int = 1
+    #: Simulated duration, seconds.  The paper's adjustment times are
+    #: 20-23 minutes; 3000 s leaves a stable equilibrium tail.
+    duration: float = 3000.0
+    num_objects: int = 10_000
+    object_size: int = 12 * 1024
+    node_request_rate: float = 40.0
+    capacity: float = 200.0
+    hop_delay: float = 0.010
+    bandwidth: float = 350_000.0
+    protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+    #: Topology seed for the synthetic UUNET backbone.
+    topology_seed: int = 1999
+    #: Metrics bucket width in seconds.
+    bucket: float = 60.0
+    #: False freezes the initial placement (the static baseline).
+    dynamic: bool = True
+    #: Request-distribution policy: "paper", "round-robin" or "closest".
+    distribution: str = "paper"
+    #: Poisson (True) vs evenly spaced (False, paper) request arrivals.
+    poisson: bool = False
+    #: Maintain per-link byte counters (off by default for speed).
+    track_links: bool = False
+    #: Keep every latency sample (percentiles) — memory-heavy at scale.
+    keep_latency_samples: bool = False
+    #: Load-axis scale factor relative to the paper's Table 1 (set by
+    #: :meth:`scaled`); used to report full-scale-equivalent overhead.
+    load_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.num_objects < 1:
+            raise ConfigurationError("need at least one object")
+        if self.node_request_rate <= 0:
+            raise ConfigurationError("request rate must be positive")
+        if self.capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if self.distribution not in ("paper", "round-robin", "closest"):
+            raise ConfigurationError(
+                f"unknown distribution policy {self.distribution!r}"
+            )
+        if self.bucket <= 0:
+            raise ConfigurationError("bucket width must be positive")
+
+    def scaled(self, factor: float) -> "ScenarioConfig":
+        """Scale the *load axis* of the run by ``factor``.
+
+        Every quantity measured in requests/sec scales together: the
+        per-node request rate, host capacity, both watermarks and both
+        placement thresholds (u and m).  The object namespace, topology,
+        durations and intervals are untouched.  Because the protocol only
+        ever compares load-dimension quantities against each other
+        (unit access rate vs u/m, loads vs watermarks, 4·l/aff vs
+        headroom), the entire placement dynamics is exactly the full-scale
+        dynamics with the load axis relabelled — only the integer-count
+        granularity of access statistics gets coarser.  Event count (and
+        hence wall-clock time) scales by ``factor``.
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        if factor == 1.0:
+            return self
+        protocol = self.protocol.replace(
+            high_watermark=self.protocol.high_watermark * factor,
+            low_watermark=self.protocol.low_watermark * factor,
+            deletion_threshold=self.protocol.deletion_threshold * factor,
+            replication_threshold=self.protocol.replication_threshold * factor,
+        )
+        return dataclasses.replace(
+            self,
+            name=f"{self.name}-x{factor:g}",
+            node_request_rate=self.node_request_rate * factor,
+            capacity=self.capacity * factor,
+            protocol=protocol,
+            load_scale=self.load_scale * factor,
+        )
+
+    def replace(self, **changes) -> "ScenarioConfig":
+        """A copy with arbitrary field changes, revalidated."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def expected_requests(self) -> float:
+        """Rough total request count (53 gateways at full scale)."""
+        return self.node_request_rate * self.duration

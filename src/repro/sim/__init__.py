@@ -1,0 +1,28 @@
+"""Discrete-event simulation engine.
+
+The paper's evaluation is an event-driven simulation (Section 6, built on
+an in-house simulator toolkit).  This subpackage is our from-scratch
+equivalent: a classic calendar-queue simulator with
+
+* :class:`~repro.sim.engine.Simulator` — the event loop and clock,
+* :class:`~repro.sim.events.Event` — a scheduled callback handle that can
+  be cancelled,
+* :class:`~repro.sim.process.PeriodicProcess` — fixed-interval activities
+  (load measurement, placement decisions, routing-database refresh),
+* :mod:`~repro.sim.rng` — deterministic, stream-split random numbers so
+  every experiment is reproducible from a single seed.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import RngFactory, zipf_reeds
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "PeriodicProcess",
+    "RngFactory",
+    "zipf_reeds",
+]

@@ -1,0 +1,114 @@
+"""Event primitives for the discrete-event simulator.
+
+Events are ordered by ``(time, sequence)``: the sequence number is a
+monotonically increasing tie-breaker so that events scheduled for the same
+instant fire in scheduling order.  This makes simulations fully
+deterministic, which the test-suite and the reproducibility guarantees of
+the benchmark harness rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.types import Time
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`repro.sim.engine.Simulator.schedule`
+    and should not be constructed directly.  An event can be cancelled up
+    until it fires; cancellation is O(1) (the queue entry is tombstoned).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: Time,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time:.6f} #{self.seq} {name} [{state}]>"
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects.
+
+    A thin wrapper over :mod:`heapq` that owns the sequence counter and
+    skips tombstoned (cancelled) entries on pop.
+    """
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self, time: Time, callback: Callable[..., Any], args: tuple[Any, ...]
+    ) -> Event:
+        """Enqueue a callback at simulated ``time`` and return its handle."""
+        event = Event(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises :class:`SimulationError` when the queue is empty.
+        """
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SimulationError("pop from an empty event queue")
+
+    def peek_time(self) -> Time | None:
+        """Return the firing time of the earliest live event, if any."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def note_cancelled(self) -> None:
+        """Inform the queue that one live entry was tombstoned.
+
+        Called by the simulator when it cancels an event so that ``len``
+        stays an accurate count of live events.
+        """
+        self._live -= 1

@@ -1,0 +1,36 @@
+"""Backbone network topologies.
+
+The paper evaluates on the 1999 UUNET backbone (53 nodes spanning North
+America, Europe and the Pacific Rim / Australia).  The original map is no
+longer available, so :mod:`repro.topology.uunet` synthesises a
+deterministic 53-node backbone with the same regional structure (see
+DESIGN.md for the substitution rationale).  :mod:`repro.topology.generators`
+provides additional families (line, ring, star, grid, random geometric)
+used by tests, examples and ablation benchmarks.
+"""
+
+from repro.topology.graph import Topology
+from repro.topology.regions import REGIONS, Region, region_of
+from repro.topology.uunet import uunet_backbone
+from repro.topology.generators import (
+    grid_topology,
+    line_topology,
+    random_geometric_topology,
+    ring_topology,
+    star_topology,
+    two_cluster_topology,
+)
+
+__all__ = [
+    "Topology",
+    "Region",
+    "REGIONS",
+    "region_of",
+    "uunet_backbone",
+    "line_topology",
+    "ring_topology",
+    "star_topology",
+    "grid_topology",
+    "random_geometric_topology",
+    "two_cluster_topology",
+]

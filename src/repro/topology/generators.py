@@ -1,0 +1,125 @@
+"""Additional topology families for tests, examples and ablations.
+
+None of these are used by the paper-reproduction scenarios (those use the
+synthetic UUNET backbone), but small regular topologies make protocol
+behaviour easy to reason about in unit tests and examples, and random
+geometric graphs let the ablation benchmarks check that results are not an
+artifact of one particular backbone.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.sim.rng import RngFactory
+from repro.topology.graph import Topology
+from repro.topology.regions import Region
+
+
+def line_topology(n: int) -> Topology:
+    """``n`` nodes in a path: 0 - 1 - ... - n-1."""
+    if n < 1:
+        raise TopologyError("line topology needs n >= 1")
+    graph = nx.path_graph(n)
+    return Topology(graph, name=f"line-{n}")
+
+
+def ring_topology(n: int) -> Topology:
+    """``n`` nodes in a cycle."""
+    if n < 3:
+        raise TopologyError("ring topology needs n >= 3")
+    graph = nx.cycle_graph(n)
+    return Topology(graph, name=f"ring-{n}")
+
+
+def star_topology(n: int) -> Topology:
+    """Node 0 is the hub; nodes 1..n-1 are spokes."""
+    if n < 2:
+        raise TopologyError("star topology needs n >= 2")
+    graph = nx.star_graph(n - 1)
+    return Topology(graph, name=f"star-{n}")
+
+
+def grid_topology(rows: int, cols: int) -> Topology:
+    """A ``rows x cols`` 4-neighbour mesh, nodes numbered row-major."""
+    if rows < 1 or cols < 1:
+        raise TopologyError("grid topology needs positive dimensions")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(node, node + 1)
+            if r + 1 < rows:
+                graph.add_edge(node, node + cols)
+    return Topology(graph, name=f"grid-{rows}x{cols}")
+
+
+def two_cluster_topology(
+    cluster_size: int = 4, bridge_length: int = 3
+) -> Topology:
+    """Two dense clusters joined by a path of ``bridge_length`` links.
+
+    A miniature "America / Europe" world used throughout the tests and the
+    motivating examples of Section 3: nodes ``0..cluster_size-1`` form
+    clique A (region WESTERN_NA), the last ``cluster_size`` nodes form
+    clique B (region EUROPE), and ``bridge_length - 1`` relay nodes
+    (region EASTERN_NA) connect them.
+    """
+    if cluster_size < 1 or bridge_length < 1:
+        raise TopologyError("cluster size and bridge length must be >= 1")
+    relay_count = bridge_length - 1
+    total = 2 * cluster_size + relay_count
+    graph = nx.Graph()
+    graph.add_nodes_from(range(total))
+    cluster_a = list(range(cluster_size))
+    relays = list(range(cluster_size, cluster_size + relay_count))
+    cluster_b = list(range(cluster_size + relay_count, total))
+    for u, v in itertools.combinations(cluster_a, 2):
+        graph.add_edge(u, v)
+    for u, v in itertools.combinations(cluster_b, 2):
+        graph.add_edge(u, v)
+    chain = [cluster_a[-1], *relays, cluster_b[0]]
+    for u, v in zip(chain, chain[1:]):
+        graph.add_edge(u, v)
+    regions: dict[int, Region] = {}
+    for node in cluster_a:
+        regions[node] = Region.WESTERN_NA
+    for node in relays:
+        regions[node] = Region.EASTERN_NA
+    for node in cluster_b:
+        regions[node] = Region.EUROPE
+    return Topology(
+        graph, regions=regions, name=f"two-cluster-{cluster_size}x2+{bridge_length}"
+    )
+
+
+def random_geometric_topology(
+    n: int, *, radius: float | None = None, seed: int = 7
+) -> Topology:
+    """A connected random geometric graph on the unit square.
+
+    Nodes are placed uniformly at random; nodes within ``radius`` are
+    linked.  The radius defaults to slightly above the connectivity
+    threshold ``sqrt(ln n / (pi n))`` and is grown until the graph is
+    connected, so the function always returns a valid topology.
+    """
+    if n < 2:
+        raise TopologyError("random geometric topology needs n >= 2")
+    rng = RngFactory(seed).stream("geometric")
+    positions = {i: (rng.random(), rng.random()) for i in range(n)}
+    r = radius if radius is not None else 1.2 * math.sqrt(math.log(n) / (math.pi * n))
+    for _ in range(64):
+        graph = nx.random_geometric_graph(n, r, pos=positions)
+        if nx.is_connected(graph):
+            plain = nx.Graph()
+            plain.add_nodes_from(range(n))
+            plain.add_edges_from(graph.edges)
+            return Topology(plain, name=f"geo-{n}-r{r:.3f}")
+        r *= 1.15
+    raise TopologyError(f"could not build a connected geometric graph on {n} nodes")

@@ -1,0 +1,117 @@
+"""The :class:`Topology` wrapper around an undirected backbone graph.
+
+A topology is the static substrate of a scenario: a connected, undirected
+graph whose vertices are backbone nodes (router + co-located hosting
+server, Section 2 of the paper) and whose edges are wide-area links.  All
+links share the scenario's per-hop delay and bandwidth (Table 1), so edge
+weights are uniform and "distance" means hop count.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.topology.regions import Region
+from repro.types import NodeId
+
+
+class Topology:
+    """A validated, immutable backbone graph.
+
+    Parameters
+    ----------
+    graph:
+        An undirected :class:`networkx.Graph` over integer node ids
+        ``0..n-1``.  Must be connected, simple and free of self-loops.
+    regions:
+        Optional mapping of node id to :class:`Region`; required by the
+        regional workload and the synthetic UUNET builder, optional for
+        toy topologies.
+    name:
+        Human-readable label used in reports.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        *,
+        regions: Mapping[NodeId, Region] | None = None,
+        name: str = "topology",
+    ) -> None:
+        self._validate(graph, regions)
+        self._graph = graph
+        self._regions = dict(regions) if regions is not None else {}
+        self.name = name
+
+    @staticmethod
+    def _validate(
+        graph: nx.Graph, regions: Mapping[NodeId, Region] | None
+    ) -> None:
+        n = graph.number_of_nodes()
+        if n == 0:
+            raise TopologyError("topology must contain at least one node")
+        if sorted(graph.nodes) != list(range(n)):
+            raise TopologyError("node ids must be contiguous integers 0..n-1")
+        if any(u == v for u, v in graph.edges):
+            raise TopologyError("self-loops are not allowed")
+        if n > 1 and not nx.is_connected(graph):
+            raise TopologyError("topology must be connected")
+        if regions is not None:
+            missing = set(graph.nodes) - set(regions)
+            if missing:
+                raise TopologyError(f"nodes missing region assignment: {sorted(missing)}")
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying :class:`networkx.Graph` (treat as read-only)."""
+        return self._graph
+
+    @property
+    def num_nodes(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def num_links(self) -> int:
+        return self._graph.number_of_edges()
+
+    @property
+    def nodes(self) -> range:
+        """Node ids in ascending order."""
+        return range(self.num_nodes)
+
+    def links(self) -> Iterable[tuple[NodeId, NodeId]]:
+        """All undirected links as ``(min_id, max_id)`` pairs."""
+        return ((min(u, v), max(u, v)) for u, v in self._graph.edges)
+
+    def neighbors(self, node: NodeId) -> list[NodeId]:
+        return sorted(self._graph.neighbors(node))
+
+    def degree(self, node: NodeId) -> int:
+        return self._graph.degree(node)
+
+    def region(self, node: NodeId) -> Region:
+        """The region of ``node``; raises if regions were not assigned."""
+        try:
+            return self._regions[node]
+        except KeyError:
+            raise TopologyError(f"no region assigned to node {node}") from None
+
+    @property
+    def has_regions(self) -> bool:
+        return bool(self._regions)
+
+    def nodes_in_region(self, region: Region) -> list[NodeId]:
+        return [n for n in self.nodes if self._regions.get(n) == region]
+
+    def diameter(self) -> int:
+        """Hop-count diameter of the backbone."""
+        return nx.diameter(self._graph)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Topology {self.name!r}: {self.num_nodes} nodes, "
+            f"{self.num_links} links>"
+        )

@@ -1,0 +1,65 @@
+"""Geographic regions of the synthetic UUNET backbone.
+
+The paper's *regional* workload (Section 6.1) divides the 53 backbone
+nodes into four regions: Western North America, Eastern North America,
+Europe, and Pacific Rim + Australia.  Region membership is a property of
+the topology; this module defines the region enum and the canonical
+node-to-region assignment used by :func:`repro.topology.uunet.uunet_backbone`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import TopologyError
+from repro.types import NodeId
+
+
+class Region(enum.Enum):
+    """One of the four geographic regions of the backbone."""
+
+    WESTERN_NA = "western-na"
+    EASTERN_NA = "eastern-na"
+    EUROPE = "europe"
+    PACIFIC = "pacific-australia"
+
+
+#: Region sizes for the canonical 53-node backbone.  Eastern North America
+#: is the largest (UUNET was headquartered in Virginia and densest on the
+#: US east coast in 1999), Pacific Rim + Australia the smallest.
+REGION_SIZES: dict[Region, int] = {
+    Region.WESTERN_NA: 14,
+    Region.EASTERN_NA: 19,
+    Region.EUROPE: 12,
+    Region.PACIFIC: 8,
+}
+
+#: All regions in canonical node-numbering order.
+REGIONS: tuple[Region, ...] = (
+    Region.WESTERN_NA,
+    Region.EASTERN_NA,
+    Region.EUROPE,
+    Region.PACIFIC,
+)
+
+
+def region_ranges(
+    sizes: dict[Region, int] | None = None,
+) -> dict[Region, range]:
+    """Contiguous node-id ranges per region, in :data:`REGIONS` order."""
+    sizes = REGION_SIZES if sizes is None else sizes
+    ranges: dict[Region, range] = {}
+    start = 0
+    for region in REGIONS:
+        count = sizes.get(region, 0)
+        ranges[region] = range(start, start + count)
+        start += count
+    return ranges
+
+
+def region_of(node: NodeId, sizes: dict[Region, int] | None = None) -> Region:
+    """Map a node id to its region under the canonical contiguous layout."""
+    for region, ids in region_ranges(sizes).items():
+        if node in ids:
+            return region
+    raise TopologyError(f"node {node} outside all region ranges")

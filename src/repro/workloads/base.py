@@ -1,0 +1,145 @@
+"""Workload protocol and request generation.
+
+A workload maps ``(gateway, rng)`` to an object id; a
+:class:`RequestGenerator` submits requests for one gateway at a constant
+rate ("each backbone node generates client requests at a constant rate
+that enter the platform through it", Section 6.1).  Generators default to
+deterministic even spacing — the paper's load-bound analysis assumes
+evenly spaced requests — with a random phase per gateway so the 53
+generators do not fire in lock-step; Poisson arrivals are available for
+robustness experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import WorkloadError
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+from repro.types import NodeId, ObjectId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.protocol import HostingSystem
+
+
+class Workload(abc.ABC):
+    """A distribution over objects, possibly conditioned on the gateway."""
+
+    def __init__(self, num_objects: int) -> None:
+        if num_objects < 1:
+            raise WorkloadError("a workload needs at least one object")
+        self.num_objects = num_objects
+
+    @abc.abstractmethod
+    def sample(self, gateway: NodeId, rng: random.Random) -> ObjectId:
+        """Draw the object requested by a client behind ``gateway``."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.removesuffix("Workload").lower()
+
+
+class UniformWorkload(Workload):
+    """Every object equally likely — the no-structure control workload."""
+
+    def sample(self, gateway: NodeId, rng: random.Random) -> ObjectId:
+        return rng.randrange(self.num_objects)
+
+
+class RequestGenerator:
+    """Constant-rate request stream for one gateway node."""
+
+    __slots__ = (
+        "_sim",
+        "_system",
+        "_workload",
+        "gateway",
+        "rate",
+        "_rng",
+        "_poisson",
+        "_event",
+        "_active",
+        "generated",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        system: "HostingSystem",
+        workload: Workload,
+        gateway: NodeId,
+        rate: float,
+        rng: random.Random,
+        *,
+        poisson: bool = False,
+    ) -> None:
+        if rate <= 0:
+            raise WorkloadError(f"request rate must be positive, got {rate}")
+        if workload.num_objects > system.num_objects:
+            raise WorkloadError(
+                "workload namespace larger than the system's: "
+                f"{workload.num_objects} > {system.num_objects}"
+            )
+        self._sim = sim
+        self._system = system
+        self._workload = workload
+        self.gateway = gateway
+        self.rate = rate
+        self._rng = rng
+        self._poisson = poisson
+        self._active = True
+        self.generated = 0
+        # Random phase so generators across gateways do not fire in sync.
+        first = rng.random() / rate
+        self._event = sim.schedule_after(first, self._fire)
+
+    def _fire(self) -> None:
+        if not self._active:  # pragma: no cover - stop() cancels the event
+            return
+        delay = (
+            self._rng.expovariate(self.rate) if self._poisson else 1.0 / self.rate
+        )
+        self._event = self._sim.schedule_after(delay, self._fire)
+        obj = self._workload.sample(self.gateway, self._rng)
+        self._system.submit_request(self.gateway, obj)
+        self.generated += 1
+
+    def stop(self) -> None:
+        """Stop generating requests.  Idempotent."""
+        if self._active:
+            self._active = False
+            if not self._event.cancelled:
+                self._sim.cancel(self._event)
+
+
+def attach_generators(
+    sim: Simulator,
+    system: "HostingSystem",
+    workload: Workload,
+    rate: float,
+    rng_factory: RngFactory,
+    *,
+    gateways: Sequence[NodeId] | None = None,
+    poisson: bool = False,
+) -> list[RequestGenerator]:
+    """One generator per gateway (default: every backbone node)."""
+    nodes = (
+        list(gateways)
+        if gateways is not None
+        else list(system.routes.topology.nodes)
+    )
+    return [
+        RequestGenerator(
+            sim,
+            system,
+            workload,
+            node,
+            rate,
+            rng_factory.stream(f"gen-{node}"),
+            poisson=poisson,
+        )
+        for node in nodes
+    ]

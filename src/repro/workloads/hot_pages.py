@@ -1,0 +1,57 @@
+"""The hot-pages workload (Section 6.1).
+
+"All the pages are divided into hot and cold buckets in the ratio 1:9.
+A page from the hot bucket is requested with a high probability (0.9)."
+
+Unlike hot-sites, the hot pages are *well distributed* across sites
+(the paper contrasts the two by exactly this property), so we pick the
+hot bucket by uniform random sample over the whole namespace — under the
+round-robin initial assignment this spreads hot pages evenly over nodes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+from repro.types import NodeId, ObjectId
+from repro.workloads.base import Workload
+
+
+class HotPagesWorkload(Workload):
+    """10% of pages (spread over all sites) receive 90% of requests."""
+
+    def __init__(
+        self,
+        num_objects: int,
+        *,
+        hot_fraction: float = 0.1,
+        hot_request_prob: float = 0.9,
+        split_rng: random.Random,
+    ) -> None:
+        super().__init__(num_objects)
+        if not 0.0 < hot_fraction < 1.0:
+            raise WorkloadError(f"hot fraction must be in (0, 1), got {hot_fraction}")
+        if not 0.0 < hot_request_prob < 1.0:
+            raise WorkloadError(
+                f"hot request probability must be in (0, 1), got {hot_request_prob}"
+            )
+        hot_count = max(1, round(num_objects * hot_fraction))
+        if hot_count >= num_objects:
+            raise WorkloadError("hot bucket would swallow every page")
+        self.hot_fraction = hot_fraction
+        self.hot_request_prob = hot_request_prob
+        hot = sorted(split_rng.sample(range(num_objects), hot_count))
+        hot_set = frozenset(hot)
+        self._hot_pages = hot
+        self._cold_pages = [obj for obj in range(num_objects) if obj not in hot_set]
+        self.hot_pages = hot_set
+
+    def sample(self, gateway: NodeId, rng: random.Random) -> ObjectId:
+        if rng.random() < self.hot_request_prob:
+            return rng.choice(self._hot_pages)
+        return rng.choice(self._cold_pages)
+
+    @property
+    def name(self) -> str:
+        return "hot-pages"

@@ -1,0 +1,71 @@
+"""The hot-sites workload (Section 6.1).
+
+"All sites are divided randomly into hot and cold, with p fraction of
+sites going to the cold bucket and the rest to the hot bucket.  A client
+chooses a random page among those initially assigned to hot sites, with
+probability p, and a random document from a cold site, with probability
+1 - p.  We choose p = 0.9."
+
+This models entire Web sites varying in popularity: 10% of nodes are hot
+and the pages initially placed there soak up 90% of requests.  The split
+depends on the paper's round-robin initial assignment (object ``i`` on
+node ``i mod num_nodes``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+from repro.types import NodeId, ObjectId
+from repro.workloads.base import Workload
+
+
+class HotSitesWorkload(Workload):
+    """90% of requests target pages initially hosted at 10% of sites."""
+
+    def __init__(
+        self,
+        num_objects: int,
+        num_nodes: int,
+        *,
+        cold_fraction: float = 0.9,
+        split_rng: random.Random,
+    ) -> None:
+        super().__init__(num_objects)
+        if num_nodes < 2:
+            raise WorkloadError("hot-sites needs at least two nodes")
+        if not 0.0 < cold_fraction < 1.0:
+            raise WorkloadError(
+                f"cold fraction must be in (0, 1), got {cold_fraction}"
+            )
+        self.num_nodes = num_nodes
+        #: p of the paper: fraction of sites that are cold AND the
+        #: probability with which a hot page is requested.
+        self.cold_fraction = cold_fraction
+        hot_count = max(1, round(num_nodes * (1.0 - cold_fraction)))
+        nodes = list(range(num_nodes))
+        split_rng.shuffle(nodes)
+        self.hot_sites = frozenset(nodes[:hot_count])
+        # Pages initially assigned (round-robin) to hot vs cold sites.
+        hot_pages = [
+            obj for obj in range(num_objects) if obj % num_nodes in self.hot_sites
+        ]
+        cold_pages = [
+            obj for obj in range(num_objects) if obj % num_nodes not in self.hot_sites
+        ]
+        if not hot_pages or not cold_pages:
+            raise WorkloadError(
+                "degenerate hot/cold page split; increase num_objects"
+            )
+        self._hot_pages = hot_pages
+        self._cold_pages = cold_pages
+
+    def sample(self, gateway: NodeId, rng: random.Random) -> ObjectId:
+        if rng.random() < self.cold_fraction:
+            return rng.choice(self._hot_pages)
+        return rng.choice(self._cold_pages)
+
+    @property
+    def name(self) -> str:
+        return "hot-sites"

@@ -1,0 +1,198 @@
+"""Trace-driven workloads.
+
+The paper's companion report ([1], "Performance of replication schemes on
+the Internet") evaluates the same protocol on access traces from AT&T's
+EasyWWW hosting service.  Those traces are proprietary; this module
+provides the full trace machinery so any trace in the simple interchange
+format can drive the simulation, plus a synthesiser that converts any
+:class:`~repro.workloads.base.Workload` into a persisted trace (the
+substitution documented in DESIGN.md).
+
+Trace format: one request per line, ``time,gateway,object`` with time in
+seconds (float), monotone non-decreasing.  Lines starting with ``#`` are
+comments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import WorkloadError
+from repro.sim.engine import Simulator
+from repro.types import NodeId, ObjectId, Time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.protocol import HostingSystem
+    from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One request in a trace."""
+
+    time: Time
+    gateway: NodeId
+    obj: ObjectId
+
+
+class Trace:
+    """An ordered sequence of trace records with persistence."""
+
+    def __init__(self, records: Iterable[TraceRecord]) -> None:
+        self.records = list(records)
+        self._validate()
+
+    def _validate(self) -> None:
+        last = float("-inf")
+        for record in self.records:
+            if record.time < last:
+                raise WorkloadError(
+                    f"trace times must be non-decreasing (saw {record.time} "
+                    f"after {last})"
+                )
+            if record.time < 0:
+                raise WorkloadError(f"negative trace time {record.time}")
+            if record.gateway < 0 or record.obj < 0:
+                raise WorkloadError("gateway and object ids must be non-negative")
+            last = record.time
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def duration(self) -> Time:
+        """Time of the last request (0 for an empty trace)."""
+        return self.records[-1].time if self.records else 0.0
+
+    def num_objects(self) -> int:
+        """1 + the largest object id referenced (0 for an empty trace)."""
+        return 1 + max((r.obj for r in self.records), default=-1)
+
+    def gateways(self) -> set[NodeId]:
+        return {record.gateway for record in self.records}
+
+    def popularity(self) -> dict[ObjectId, int]:
+        """Request count per object."""
+        counts: dict[ObjectId, int] = {}
+        for record in self.records:
+            counts[record.obj] = counts.get(record.obj, 0) + 1
+        return counts
+
+    def mean_rate(self) -> float:
+        """Overall request rate in requests/sec."""
+        if not self.records or self.duration == 0:
+            return 0.0
+        return len(self.records) / self.duration
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the interchange format (``time,gateway,object`` lines)."""
+        lines = ["# repro trace v1: time,gateway,object"]
+        lines.extend(
+            f"{record.time:.6f},{record.gateway},{record.obj}"
+            for record in self.records
+        )
+        Path(path).write_text("\n".join(lines) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Parse the interchange format; raises WorkloadError on bad rows."""
+        records = []
+        for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(",")
+            if len(parts) != 3:
+                raise WorkloadError(f"{path}:{lineno}: expected 3 fields")
+            try:
+                records.append(
+                    TraceRecord(float(parts[0]), int(parts[1]), int(parts[2]))
+                )
+            except ValueError as exc:
+                raise WorkloadError(f"{path}:{lineno}: {exc}") from exc
+        return cls(records)
+
+
+def synthesize_trace(
+    workload: "Workload",
+    *,
+    rate_per_gateway: float,
+    duration: Time,
+    gateways: Sequence[NodeId],
+    rng: random.Random,
+    poisson: bool = False,
+) -> Trace:
+    """Materialise a synthetic workload as a trace.
+
+    Generates the same request stream :class:`RequestGenerator` would
+    produce (per-gateway constant rate with random phase, or Poisson) but
+    records it instead of submitting it, so runs can be replayed exactly
+    and shared.
+    """
+    if rate_per_gateway <= 0:
+        raise WorkloadError("rate must be positive")
+    if duration <= 0:
+        raise WorkloadError("duration must be positive")
+    records: list[TraceRecord] = []
+    for gateway in gateways:
+        t = rng.random() / rate_per_gateway
+        while t < duration:
+            records.append(TraceRecord(t, gateway, workload.sample(gateway, rng)))
+            t += (
+                rng.expovariate(rate_per_gateway)
+                if poisson
+                else 1.0 / rate_per_gateway
+            )
+    records.sort(key=lambda record: record.time)
+    return Trace(records)
+
+
+class TraceReplayer:
+    """Replays a trace into a hosting system on the simulator clock."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        system: "HostingSystem",
+        trace: Trace,
+        *,
+        time_scale: float = 1.0,
+    ) -> None:
+        if time_scale <= 0:
+            raise WorkloadError("time scale must be positive")
+        self._sim = sim
+        self._system = system
+        self._trace = trace
+        self._time_scale = time_scale
+        self._index = 0
+        self.replayed = 0
+        if trace.records:
+            self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        record = self._trace.records[self._index]
+        self._sim.schedule_at(
+            self._sim.now
+            + max(0.0, record.time * self._time_scale - self._sim.now),
+            self._fire,
+        )
+
+    def _fire(self) -> None:
+        record = self._trace.records[self._index]
+        self._system.submit_request(record.gateway, record.obj)
+        self.replayed += 1
+        self._index += 1
+        if self._index < len(self._trace.records):
+            self._schedule_next()
+
+    @property
+    def done(self) -> bool:
+        return self._index >= len(self._trace.records)

@@ -1,0 +1,62 @@
+"""Tests for per-link traffic analysis."""
+
+import pytest
+
+from repro.analysis.links import (
+    class_byte_shares,
+    hottest_links,
+    link_reports,
+    traffic_concentration,
+)
+from repro.errors import ConfigurationError
+from repro.network.message import MessageClass
+from repro.network.transport import Network
+from repro.routing.routes_db import RoutingDatabase
+from repro.sim.engine import Simulator
+from repro.topology.generators import line_topology
+
+
+@pytest.fixture
+def network():
+    sim = Simulator()
+    routes = RoutingDatabase(line_topology(4))
+    network = Network(sim, routes, bandwidth=1000.0)
+    network.account(0, 3, 900, MessageClass.RESPONSE)  # links 0-1,1-2,2-3
+    network.account(1, 2, 600, MessageClass.RELOCATION)  # link 1-2 only
+    return network
+
+
+def test_link_reports_sorted_busiest_first(network):
+    reports = link_reports(network, elapsed=10.0)
+    assert (reports[0].a, reports[0].b) == (1, 2)
+    assert reports[0].total_bytes == 1500
+    assert reports[0].utilisation == pytest.approx(0.15)
+    assert reports[0].overhead_share == pytest.approx(600 / 1500)
+    assert reports[1].total_bytes == 900
+    assert reports[1].overhead_share == 0.0
+
+
+def test_hottest_links_limits(network):
+    assert len(hottest_links(network, elapsed=10.0, top=2)) == 2
+    with pytest.raises(ConfigurationError):
+        hottest_links(network, elapsed=10.0, top=0)
+    with pytest.raises(ConfigurationError):
+        link_reports(network, elapsed=0.0)
+
+
+def test_traffic_concentration(network):
+    # 3 links, head = 1 link: 1500 of 3300 total.
+    assert traffic_concentration(network) == pytest.approx(1500 / 3300)
+
+
+def test_traffic_concentration_empty():
+    sim = Simulator()
+    network = Network(sim, RoutingDatabase(line_topology(3)))
+    assert traffic_concentration(network) == 0.0
+
+
+def test_class_byte_shares(network):
+    shares = class_byte_shares(network)
+    assert shares[MessageClass.RESPONSE] == pytest.approx(2700 / 3300)
+    assert shares[MessageClass.RELOCATION] == pytest.approx(600 / 3300)
+    assert sum(shares.values()) == pytest.approx(1.0)

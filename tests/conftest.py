@@ -1,0 +1,71 @@
+"""Shared fixtures: small deterministic systems the whole suite reuses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import HostingSystem
+from repro.network.transport import Network
+from repro.routing.routes_db import RoutingDatabase
+from repro.sim.engine import Simulator
+from repro.topology.generators import line_topology, two_cluster_topology
+from repro.topology.uunet import uunet_backbone
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def line5():
+    """A five-node path topology with its routing database."""
+    topology = line_topology(5)
+    return topology, RoutingDatabase(topology)
+
+
+@pytest.fixture
+def clusters():
+    """The America/Europe two-cluster world of the Section 3 examples."""
+    topology = two_cluster_topology(cluster_size=4, bridge_length=3)
+    return topology, RoutingDatabase(topology)
+
+
+@pytest.fixture(scope="session")
+def uunet_routes():
+    """The canonical backbone + routes (session-scoped; expensive)."""
+    topology = uunet_backbone()
+    return topology, RoutingDatabase(topology)
+
+
+def make_system(
+    sim: Simulator,
+    topology,
+    *,
+    num_objects: int = 20,
+    config: ProtocolConfig | None = None,
+    capacity: float = 200.0,
+    **kwargs,
+) -> HostingSystem:
+    """Build a small HostingSystem over ``topology`` for unit tests."""
+    routes = RoutingDatabase(topology)
+    network = Network(sim, routes)
+    system = HostingSystem(
+        sim,
+        network,
+        config or ProtocolConfig(),
+        num_objects=num_objects,
+        capacity=capacity,
+        **kwargs,
+    )
+    return system
+
+
+@pytest.fixture
+def small_system(sim, clusters):
+    """A started two-cluster system with round-robin initial placement."""
+    topology, _ = clusters
+    system = make_system(sim, topology, num_objects=20)
+    system.initialize_round_robin()
+    return system

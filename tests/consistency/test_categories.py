@@ -1,0 +1,53 @@
+"""Unit tests for consistency categories and replica limits."""
+
+import pytest
+
+from repro.consistency.categories import Category, ConsistencyPolicy
+from repro.errors import ConsistencyError
+
+
+def test_default_category_is_static():
+    policy = ConsistencyPolicy()
+    assert policy.category(5) is Category.STATIC
+    assert policy.replica_limit(5) is None
+    assert policy.may_replicate(5, 100)
+
+
+def test_non_commuting_defaults_to_migrate_only():
+    policy = ConsistencyPolicy()
+    policy.classify(3, Category.NON_COMMUTING)
+    assert policy.replica_limit(3) == 1
+    assert not policy.may_replicate(3, 1)
+    assert policy.may_migrate(3)
+
+
+def test_explicit_replica_limit():
+    policy = ConsistencyPolicy()
+    policy.classify(3, Category.NON_COMMUTING, replica_limit=4)
+    assert policy.may_replicate(3, 3)
+    assert not policy.may_replicate(3, 4)
+
+
+def test_commuting_objects_unlimited():
+    policy = ConsistencyPolicy()
+    policy.classify(2, Category.COMMUTING)
+    assert policy.replica_limit(2) is None
+
+
+def test_limit_rejected_for_other_categories():
+    policy = ConsistencyPolicy()
+    with pytest.raises(ConsistencyError):
+        policy.classify(1, Category.STATIC, replica_limit=3)
+
+
+def test_invalid_limits_rejected():
+    with pytest.raises(ConsistencyError):
+        ConsistencyPolicy(non_commuting_replica_limit=0)
+    policy = ConsistencyPolicy()
+    with pytest.raises(ConsistencyError):
+        policy.classify(1, Category.NON_COMMUTING, replica_limit=0)
+
+
+def test_default_category_override():
+    policy = ConsistencyPolicy(default_category=Category.NON_COMMUTING)
+    assert policy.replica_limit(9) == 1

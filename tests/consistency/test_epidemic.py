@@ -1,0 +1,72 @@
+"""Tests for the epidemic update batcher."""
+
+import pytest
+
+from repro.consistency.epidemic import EpidemicBatcher
+from repro.consistency.primary_copy import PrimaryCopyManager
+from repro.errors import ConsistencyError
+from repro.sim.engine import Simulator
+from repro.topology.generators import line_topology
+from tests.conftest import make_system
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    system = make_system(sim, line_topology(3), num_objects=2)
+    manager = PrimaryCopyManager(system, immediate=False)
+    system.initialize_round_robin()
+    system.hosts[2].store.add(0)
+    system.redirectors.for_object(0).replica_created(0, 2, 1)
+    return sim, system, manager
+
+
+def test_flush_propagates_on_period(setup):
+    sim, system, manager = setup
+    batcher = EpidemicBatcher(sim, manager, period=60.0)
+    manager.apply_update(0)
+    batcher.mark_dirty(0)
+    assert manager.stale_replicas(0) == [2]
+    sim.run(until=59.0)
+    assert manager.stale_replicas(0) == [2]
+    sim.run(until=61.0)
+    assert manager.stale_replicas(0) == []
+    assert batcher.pending == 0
+    assert batcher.flushes == 1
+
+
+def test_multiple_updates_one_transfer(setup):
+    """Batching amortises: N updates within a period cost one transfer."""
+    sim, system, manager = setup
+    batcher = EpidemicBatcher(sim, manager, period=60.0)
+    for _ in range(5):
+        manager.apply_update(0)
+        batcher.mark_dirty(0)
+    sim.run(until=61.0)
+    assert manager.updates_propagated == 1
+    assert manager.version(0, 2) == 5
+
+
+def test_flush_now(setup):
+    sim, system, manager = setup
+    batcher = EpidemicBatcher(sim, manager, period=1000.0)
+    manager.apply_update(0)
+    batcher.mark_dirty(0)
+    batcher.flush_now()
+    assert manager.stale_replicas(0) == []
+
+
+def test_stop_halts_flushing(setup):
+    sim, system, manager = setup
+    batcher = EpidemicBatcher(sim, manager, period=60.0)
+    batcher.stop()
+    manager.apply_update(0)
+    batcher.mark_dirty(0)
+    sim.run(until=200.0)
+    assert manager.stale_replicas(0) == [2]
+
+
+def test_invalid_period(setup):
+    sim, system, manager = setup
+    with pytest.raises(ConsistencyError):
+        EpidemicBatcher(sim, manager, period=0.0)

@@ -1,0 +1,67 @@
+"""Tests for commuting-statistics merging, including commutativity."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.consistency.merge import CountingStats, merge_counts
+
+
+def test_local_counts_and_merged_total():
+    stats = CountingStats(7)
+    stats.record_access(0, 3)
+    stats.record_access(1)
+    stats.record_access(0)
+    assert stats.local_count(0) == 4
+    assert stats.local_count(1) == 1
+    assert stats.merged_total() == 5
+    assert stats.snapshot() == {0: 4, 1: 1}
+
+
+def test_negative_counts_rejected():
+    stats = CountingStats(7)
+    with pytest.raises(ValueError):
+        stats.record_access(0, -1)
+
+
+def test_transfer_preserves_total():
+    stats = CountingStats(7)
+    stats.record_access(0, 10)
+    stats.record_access(1, 5)
+    stats.transfer(0, 1)
+    assert stats.merged_total() == 15
+    assert stats.local_count(0) == 0
+    assert stats.local_count(1) == 15
+    stats.transfer(1, 1)  # self transfer is a no-op
+    assert stats.merged_total() == 15
+
+
+def test_merge_counts_adds():
+    merged = merge_counts([{0: 1, 1: 2}, {1: 3, 2: 4}])
+    assert merged == {0: 1, 1: 5, 2: 4}
+
+
+def test_merge_counts_rejects_negative():
+    with pytest.raises(ValueError):
+        merge_counts([{0: -1}])
+
+
+count_maps = st.dictionaries(
+    st.integers(min_value=0, max_value=10),
+    st.integers(min_value=0, max_value=100),
+    max_size=5,
+)
+
+
+@given(st.lists(count_maps, max_size=5))
+def test_merge_is_order_independent(partials):
+    """The commuting property that makes category-2 objects replicable."""
+    forward = merge_counts(partials)
+    backward = merge_counts(list(reversed(partials)))
+    assert forward == backward
+
+
+@given(count_maps, count_maps)
+def test_merge_total_is_sum_of_totals(a, b):
+    merged = merge_counts([a, b])
+    assert sum(merged.values()) == sum(a.values()) + sum(b.values())

@@ -1,0 +1,88 @@
+"""Tests for primary-copy tracking and update propagation."""
+
+import pytest
+
+from repro.consistency.primary_copy import PrimaryCopyManager
+from repro.errors import ConsistencyError
+from repro.network.message import MessageClass
+from repro.sim.engine import Simulator
+from repro.topology.generators import line_topology
+from tests.conftest import make_system
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    system = make_system(sim, line_topology(4), num_objects=4)
+    manager = PrimaryCopyManager(system)
+    system.initialize_round_robin()
+    return system, manager
+
+
+def add_replica(system, obj, host):
+    system.hosts[host].store.add(obj)
+    system.redirectors.for_object(obj).replica_created(
+        obj, host, system.hosts[host].store.affinity(obj)
+    )
+
+
+def test_original_copy_is_primary(setup):
+    system, manager = setup
+    assert manager.primary(0) == 0
+    assert manager.primary(3) == 3
+    assert manager.primary_version(0) == 0
+
+
+def test_update_bumps_version_and_propagates(setup):
+    system, manager = setup
+    add_replica(system, 0, 2)
+    before = system.network.byte_hops[MessageClass.UPDATE]
+    version = manager.apply_update(0)
+    assert version == 1
+    assert manager.version(0, 2) == 1
+    assert manager.stale_replicas(0) == []
+    assert system.network.byte_hops[MessageClass.UPDATE] > before
+    assert manager.updates_propagated == 1
+
+
+def test_lazy_mode_leaves_replicas_stale(setup):
+    system, _ = setup
+    manager = PrimaryCopyManager(system, immediate=False)
+    # Rebuild registry view for the lazy manager via a new replica.
+    add_replica(system, 0, 2)
+    manager._primary[0] = 0
+    manager._versions[(0, 0)] = 0
+    manager._versions[(0, 2)] = 0
+    manager.apply_update(0)
+    assert manager.stale_replicas(0) == [2]
+    refreshed = manager.propagate(0)
+    assert refreshed == 1
+    assert manager.stale_replicas(0) == []
+
+
+def test_fresh_copy_carries_current_version(setup):
+    system, manager = setup
+    manager.apply_update(0)
+    manager.apply_update(0)
+    add_replica(system, 0, 3)
+    assert manager.version(0, 3) == 2
+
+
+def test_primary_rehomes_on_drop(setup):
+    system, manager = setup
+    add_replica(system, 0, 2)
+    redirector = system.redirectors.for_object(0)
+    assert redirector.request_drop(0, 0)
+    system.hosts[0].store.drop(0)
+    assert manager.primary(0) == 2
+    # Updates continue to work from the new primary.
+    manager.apply_update(0)
+    assert manager.version(0, 2) == 1
+
+
+def test_unknown_lookups_raise(setup):
+    _, manager = setup
+    with pytest.raises(ConsistencyError):
+        manager.version(0, 3)
+    with pytest.raises(ConsistencyError):
+        manager.primary(99)

@@ -1,0 +1,74 @@
+"""Unit tests for protocol configuration validation."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.errors import ConfigurationError
+
+
+def test_defaults_match_table1_low_load():
+    config = ProtocolConfig()
+    assert config.high_watermark == 90.0
+    assert config.low_watermark == 80.0
+    assert config.deletion_threshold == 0.03
+    assert config.replication_threshold == pytest.approx(0.18)
+    assert config.replication_threshold == pytest.approx(
+        6 * config.deletion_threshold
+    )
+    assert config.migr_ratio == 0.6
+    assert config.repl_ratio == pytest.approx(1 / 6)
+    assert config.distribution_constant == 2.0
+    assert config.placement_interval == 100.0
+    assert config.measurement_interval == 20.0
+
+
+def test_theorem5_constraint_enforced():
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(deletion_threshold=0.05, replication_threshold=0.2)
+
+
+def test_watermark_ordering_enforced():
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(high_watermark=50.0, low_watermark=60.0)
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(high_watermark=50.0, low_watermark=50.0)
+
+
+def test_migr_ratio_must_exceed_half():
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(migr_ratio=0.5)
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(migr_ratio=0.4)
+    ProtocolConfig(migr_ratio=0.51)
+
+
+def test_repl_ratio_below_migr_ratio():
+    """REPL_RATIO must be below MIGR_RATIO 'for replication to ever take
+    place'."""
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(repl_ratio=0.7, migr_ratio=0.6)
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(repl_ratio=0.0)
+
+
+def test_distribution_constant_above_one():
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(distribution_constant=1.0)
+
+
+def test_positive_intervals():
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(placement_interval=0)
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(measurement_interval=-5)
+
+
+def test_with_watermarks_returns_high_load_variant():
+    config = ProtocolConfig().with_watermarks(40.0, 50.0)
+    assert (config.low_watermark, config.high_watermark) == (40.0, 50.0)
+
+
+def test_replace_revalidates():
+    config = ProtocolConfig()
+    with pytest.raises(ConfigurationError):
+        config.replace(deletion_threshold=1.0)

@@ -1,0 +1,115 @@
+"""Unit tests for the CreateObj handshake (Figure 4)."""
+
+import pytest
+
+from repro.consistency.categories import Category, ConsistencyPolicy
+from repro.core.config import ProtocolConfig
+from repro.core.create_obj import handle_create_obj
+from repro.network.message import MessageClass
+from repro.sim.engine import Simulator
+from repro.topology.generators import line_topology
+from repro.types import PlacementAction, PlacementReason
+from tests.conftest import make_system
+
+CONFIG = ProtocolConfig(high_watermark=20.0, low_watermark=10.0)
+
+
+@pytest.fixture
+def system():
+    sim = Simulator()
+    system = make_system(
+        sim, line_topology(4), num_objects=5, config=CONFIG, enable_placement=True
+    )
+    for obj in range(5):
+        system.place_initial(obj, 0)
+    return system
+
+
+def create(system, *, action=PlacementAction.REPLICATE, obj=0, unit_load=1.0,
+           source=0, candidate=3, reason=PlacementReason.GEO):
+    return handle_create_obj(system, source, candidate, action, obj, unit_load, reason)
+
+
+def test_accept_copies_object_and_registers(system):
+    assert create(system)
+    host = system.hosts[3]
+    assert 0 in host.store
+    assert host.store.affinity(0) == 1
+    assert 3 in system.redirectors.for_object(0).replica_hosts(0)
+    # Upper-bound estimate bumped by 4 * unit load.
+    assert host.upper_load == pytest.approx(4.0)
+    system.check_invariants()
+
+
+def test_accept_increments_existing_affinity(system):
+    assert create(system)
+    assert create(system)
+    assert system.hosts[3].store.affinity(0) == 2
+    assert system.redirectors.for_object(0).affinity(0, 3) == 2
+
+
+def test_refuses_above_low_watermark(system):
+    system.hosts[3].estimator.on_measurement(11.0, 0.0)
+    assert not create(system)
+    assert 0 not in system.hosts[3].store
+
+
+def test_migration_checks_high_watermark(system):
+    # Candidate at 8 (below lw=10) but 8 + 4*4 = 24 > hw=20: refuse MIGRATE.
+    system.hosts[3].estimator.on_measurement(8.0, 0.0)
+    assert not create(system, action=PlacementAction.MIGRATE, unit_load=4.0)
+    # The same request as a REPLICATE is accepted: "overloading a
+    # recipient temporarily may be necessary ... to bootstrap replication".
+    assert create(system, action=PlacementAction.REPLICATE, unit_load=4.0)
+
+
+def test_upper_estimate_gates_successive_accepts(system):
+    """After one accept the candidate's own upper estimate (not a fresh
+    measurement) must gate the next request (Section 2.1)."""
+    assert create(system, unit_load=3.0)  # upper becomes 12 > lw
+    assert not create(system, obj=1, unit_load=0.1)
+
+
+def test_relocation_traffic_accounted(system):
+    before = system.network.byte_hops[MessageClass.RELOCATION]
+    create(system)
+    moved = system.network.byte_hops[MessageClass.RELOCATION] - before
+    assert moved == system.object_size * 3  # 3 hops from 0 to 3
+
+
+def test_affinity_increment_moves_no_bytes(system):
+    create(system)
+    before = system.network.byte_hops[MessageClass.RELOCATION]
+    create(system)
+    assert system.network.byte_hops[MessageClass.RELOCATION] == before
+
+
+def test_control_traffic_accounted_even_on_refusal(system):
+    system.hosts[3].estimator.on_measurement(11.0, 0.0)
+    before = system.network.byte_hops[MessageClass.CONTROL]
+    assert not create(system)
+    assert system.network.byte_hops[MessageClass.CONTROL] > before
+
+
+def test_placement_event_recorded(system):
+    create(system, reason=PlacementReason.LOAD)
+    event = system.placement_events[-1]
+    assert event.action is PlacementAction.REPLICATE
+    assert event.reason is PlacementReason.LOAD
+    assert (event.source, event.target) == (0, 3)
+    assert event.copied_bytes == system.object_size
+
+
+def test_invalid_action_rejected(system):
+    with pytest.raises(ValueError):
+        create(system, action=PlacementAction.DROP)
+
+
+def test_consistency_policy_limits_replicas(system):
+    policy = ConsistencyPolicy()
+    policy.classify(0, Category.NON_COMMUTING, replica_limit=2)
+    system.consistency_policy = policy
+    assert create(system, candidate=1)  # 2nd replica: allowed
+    assert not create(system, candidate=2)  # 3rd replica: refused
+    # Migration is always allowed (replica count unchanged).
+    assert create(system, candidate=2, action=PlacementAction.MIGRATE)

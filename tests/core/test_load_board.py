@@ -1,0 +1,34 @@
+"""Unit tests for the load-report board."""
+
+from repro.core.load_board import LoadReportBoard
+
+
+def test_reports_overwrite_by_node():
+    board = LoadReportBoard()
+    board.report(1, 10.0, 0.0)
+    board.report(1, 4.0, 20.0)
+    assert board.reported_load(1) == 4.0
+    assert len(board) == 1
+
+
+def test_unreported_is_none():
+    assert LoadReportBoard().reported_load(7) is None
+
+
+def test_candidates_below_sorted_most_idle_first():
+    board = LoadReportBoard()
+    board.report(1, 5.0, 0.0)
+    board.report(2, 2.0, 0.0)
+    board.report(3, 9.0, 0.0)
+    board.report(4, 2.0, 0.0)
+    assert board.candidates_below(8.0, exclude=0) == [2, 4, 1]
+    # The offloader itself never appears.
+    assert board.candidates_below(8.0, exclude=2) == [4, 1]
+
+
+def test_candidates_full_listing():
+    board = LoadReportBoard()
+    board.report(1, 5.0, 0.0)
+    board.report(2, 2.0, 0.0)
+    assert board.candidates(exclude=1) == [(2, 2.0)]
+    assert board.candidates(exclude=9) == [(2, 2.0), (1, 5.0)]

@@ -1,0 +1,51 @@
+"""Unit tests for the per-host replica store."""
+
+import pytest
+
+from repro.core.object_store import ObjectStore
+from repro.errors import ProtocolError
+
+
+def test_add_creates_then_increments():
+    store = ObjectStore()
+    assert store.add(7) == 1
+    assert store.add(7) == 2
+    assert store.affinity(7) == 2
+    assert 7 in store
+    assert len(store) == 1
+
+
+def test_reduce_decrements_then_drops():
+    store = ObjectStore()
+    store.add(7)
+    store.add(7)
+    assert store.reduce(7) == 1
+    assert store.reduce(7) == 0
+    assert 7 not in store
+
+
+def test_drop_removes_regardless_of_affinity():
+    store = ObjectStore()
+    store.add(1)
+    store.add(1)
+    store.drop(1)
+    assert 1 not in store
+
+
+def test_missing_object_raises():
+    store = ObjectStore()
+    with pytest.raises(ProtocolError):
+        store.affinity(3)
+    with pytest.raises(ProtocolError):
+        store.reduce(3)
+    with pytest.raises(ProtocolError):
+        store.drop(3)
+
+
+def test_objects_and_total_affinity():
+    store = ObjectStore()
+    store.add(1)
+    store.add(2)
+    store.add(2)
+    assert store.objects() == [1, 2]
+    assert store.total_affinity() == 3

@@ -1,0 +1,157 @@
+"""Tests for host failure injection and the system's failure behaviour."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.create_obj import handle_create_obj
+from repro.errors import ProtocolError
+from repro.failures.injector import FailureInjector
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+from repro.topology.generators import line_topology
+from repro.types import PlacementAction, PlacementReason
+from repro.workloads.base import UniformWorkload, attach_generators
+from tests.conftest import make_system
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    system = make_system(sim, line_topology(4), num_objects=8)
+    system.initialize_round_robin()
+    return sim, system, FailureInjector(sim, system)
+
+
+def test_failed_host_not_chosen(setup):
+    sim, system, injector = setup
+    # Object 0 replicated on hosts 0 and 2.
+    system.hosts[2].store.add(0)
+    system.redirectors.for_object(0).replica_created(0, 2, 1)
+    injector.fail(0)
+    for gateway in range(4):
+        record = system.submit_request(gateway, 0)
+    sim.run()
+    assert not record.failed
+    assert record.server == 2
+
+
+def test_request_fails_when_all_replicas_down(setup):
+    sim, system, injector = setup
+    injector.fail(1)  # sole replica of object 1
+    record = system.submit_request(0, 1)
+    assert record.failed
+    assert system.failed_requests == 1
+
+
+def test_recovery_restores_service(setup):
+    sim, system, injector = setup
+    injector.fail(1)
+    injector.recover(1)
+    record = system.submit_request(0, 1)
+    sim.run()
+    assert not record.failed
+    assert record.server == 1
+
+
+def test_in_flight_requests_reroute_on_failure(setup):
+    sim, system, injector = setup
+    system.hosts[2].store.add(0)
+    system.redirectors.for_object(0).replica_created(0, 2, 1)
+    record = system.submit_request(3, 0)
+    # Fail whichever host was chosen while the request is in flight.
+    injector.fail(record.server if record.server >= 0 else 0)
+    chosen = 0 if not system.hosts[0].available else 2
+    sim.run()
+    assert not record.failed
+    assert system.rerouted_requests >= 0  # rerouted or already arriving
+
+
+def test_failed_host_refuses_create_obj(setup):
+    sim, system, injector = setup
+    injector.fail(3)
+    accepted = handle_create_obj(
+        system, 0, 3, PlacementAction.REPLICATE, 0, 0.1, PlacementReason.GEO
+    )
+    assert not accepted
+
+
+def test_last_available_replica_never_dropped(setup):
+    sim, system, injector = setup
+    system.hosts[2].store.add(0)
+    redirector = system.redirectors.for_object(0)
+    redirector.replica_created(0, 2, 1)
+    injector.fail(0)
+    # Host 2 now holds the only *available* replica: drop refused even
+    # though another (failed) registration exists.
+    assert not redirector.request_drop(0, 2)
+    # Dropping the failed host's replica is fine.
+    assert redirector.request_drop(0, 0)
+
+
+def test_double_fail_and_double_recover_rejected(setup):
+    _, _, injector = setup
+    injector.fail(0)
+    with pytest.raises(ProtocolError):
+        injector.fail(0)
+    injector.recover(0)
+    with pytest.raises(ProtocolError):
+        injector.recover(0)
+
+
+def test_scheduled_outage_and_downtime(setup):
+    sim, system, injector = setup
+    injector.schedule_outage(2, at=10.0, duration=5.0)
+    sim.run(until=8.0)
+    assert system.hosts[2].available
+    sim.run(until=12.0)
+    assert not system.hosts[2].available
+    sim.run(until=20.0)
+    assert system.hosts[2].available
+    assert injector.downtime(2, until=20.0) == pytest.approx(5.0)
+    assert injector.downtime(2, until=12.0) == pytest.approx(2.0)
+
+
+def test_random_outages_complete_within_horizon(setup):
+    sim, system, injector = setup
+    count = injector.schedule_random_outages(
+        RngFactory(5).stream("fail"), mtbf=100.0, mttr=10.0, horizon=500.0
+    )
+    sim.run(until=500.0)
+    assert count == sum(1 for e in injector.events if e.failed)
+    assert count == sum(1 for e in injector.events if not e.failed)
+    assert all(host.available for host in system.hosts.values())
+
+
+def test_system_survives_failures_under_load(setup):
+    sim, system, injector = setup
+    system.start()
+    generators = attach_generators(
+        sim, system, UniformWorkload(8), 4.0, RngFactory(6)
+    )
+    injector.schedule_outage(0, at=30.0, duration=40.0)
+    injector.schedule_outage(2, at=50.0, duration=20.0)
+    records = []
+    system.request_observers.append(records.append)
+    sim.run(until=200.0)
+    for generator in generators:
+        generator.stop()
+    system.stop()
+    sim.run()
+    serviced = [r for r in records if not r.failed and not r.dropped]
+    failed = [r for r in records if r.failed]
+    # Sole-replica objects on the failed hosts fail during the outage...
+    assert failed
+    # ...but the system keeps serving everything else and recovers fully.
+    assert len(serviced) > len(failed)
+    assert serviced[-1].completed_at > 170.0
+    system.check_invariants()
+
+
+def test_outage_validation(setup):
+    _, _, injector = setup
+    with pytest.raises(ProtocolError):
+        injector.schedule_outage(0, at=1.0, duration=0.0)
+    with pytest.raises(ProtocolError):
+        injector.schedule_random_outages(
+            RngFactory(1).stream("x"), mtbf=0, mttr=1, horizon=10
+        )

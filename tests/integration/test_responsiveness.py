@@ -1,0 +1,61 @@
+"""End-to-end: the system re-adjusts when the demand pattern shifts.
+
+Responsiveness to demand changes is an explicit design goal (Section 1.2);
+the en-masse offloading and bound-based decisions exist so that the system
+keeps up when popularity moves.  We flip the popular object set mid-run
+and require the replica placement to follow.
+"""
+
+from repro.core.config import ProtocolConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+from repro.topology.generators import two_cluster_topology
+from repro.workloads.base import UniformWorkload, attach_generators
+from repro.workloads.mixture import PhasedWorkload
+from tests.conftest import make_system
+
+CONFIG = ProtocolConfig(
+    high_watermark=50.0,
+    low_watermark=40.0,
+    deletion_threshold=0.02,
+    replication_threshold=0.12,
+    placement_interval=50.0,
+    measurement_interval=10.0,
+)
+
+
+class SubsetWorkload(UniformWorkload):
+    def __init__(self, num_objects, subset):
+        super().__init__(num_objects)
+        self.subset = list(subset)
+
+    def sample(self, gateway, rng):
+        return rng.choice(self.subset)
+
+
+def test_replicas_follow_a_demand_shift():
+    sim = Simulator()
+    topology = two_cluster_topology(cluster_size=4, bridge_length=2)
+    system = make_system(sim, topology, num_objects=20, config=CONFIG)
+    system.initialize_round_robin()
+    phase_a = SubsetWorkload(20, range(0, 5))
+    phase_b = SubsetWorkload(20, range(15, 20))
+    workload = PhasedWorkload([(0.0, phase_a), (400.0, phase_b)], clock=lambda: sim.now)
+    system.start()
+    generators = attach_generators(sim, system, workload, 4.0, RngFactory(21))
+
+    sim.run(until=390.0)
+    hot_replicas_phase_a = sum(len(system.replica_hosts(o)) for o in range(5))
+    cold_replicas_phase_a = sum(len(system.replica_hosts(o)) for o in range(15, 20))
+    assert hot_replicas_phase_a > cold_replicas_phase_a
+
+    sim.run(until=900.0)
+    for generator in generators:
+        generator.stop()
+    hot_replicas_phase_b = sum(len(system.replica_hosts(o)) for o in range(15, 20))
+    old_hot_replicas = sum(len(system.replica_hosts(o)) for o in range(5))
+    # The new hot set gained replicas; the old hot set decayed back.
+    assert hot_replicas_phase_b > cold_replicas_phase_a
+    assert old_hot_replicas < hot_replicas_phase_a
+    assert hot_replicas_phase_b > old_hot_replicas
+    system.check_invariants()

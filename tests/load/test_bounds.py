@@ -1,0 +1,96 @@
+"""Unit and property tests for the Theorem 1-5 bound formulas."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.load.bounds import (
+    migration_source_max_decrease,
+    migration_target_max_increase,
+    post_replication_min_unit_count,
+    replication_source_max_decrease,
+    replication_target_max_increase,
+    validate_thresholds,
+)
+
+loads = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+affinities = st.integers(min_value=1, max_value=1000)
+
+
+def test_theorem1_value():
+    assert replication_source_max_decrease(8.0) == 6.0
+
+
+def test_theorem2_value():
+    assert replication_target_max_increase(8.0, 2) == 16.0
+
+
+def test_theorem3_affinity_one_is_full_load():
+    assert migration_source_max_decrease(8.0, 1) == pytest.approx(8.0)
+
+
+def test_theorem3_value():
+    # l/aff + (3/4) l (aff-1)/aff with l=8, aff=4: 2 + 4.5 = 6.5.
+    assert migration_source_max_decrease(8.0, 4) == pytest.approx(6.5)
+
+
+def test_theorem4_equals_theorem2():
+    assert migration_target_max_increase(5.0, 3) == replication_target_max_increase(
+        5.0, 3
+    )
+
+
+def test_theorem5_quarter():
+    assert post_replication_min_unit_count(0.18) == pytest.approx(0.045)
+
+
+@given(loads, affinities)
+def test_migration_decrease_bounded_by_unit_plus_replication(load, aff):
+    """Thm 3 decrease interpolates between l (aff=1) and 3/4 l (aff->inf)."""
+    decrease = migration_source_max_decrease(load, aff)
+    assert decrease <= load + 1e-9
+    assert decrease >= 0.75 * load - 1e-9
+
+
+@given(loads, affinities)
+def test_migration_decrease_monotone_in_affinity(load, aff):
+    if aff > 1:
+        assert migration_source_max_decrease(load, aff) <= (
+            migration_source_max_decrease(load, aff - 1) + 1e-9
+        )
+
+
+@given(loads, affinities)
+def test_target_increase_scales_inverse_affinity(load, aff):
+    assert replication_target_max_increase(load, aff) == pytest.approx(
+        4.0 * load / aff
+    )
+
+
+def test_validate_thresholds_accepts_paper_values():
+    validate_thresholds(0.03, 0.18)
+
+
+def test_validate_thresholds_rejects_4u_ge_m():
+    with pytest.raises(ConfigurationError):
+        validate_thresholds(0.05, 0.2)  # 4u == m, not strictly less
+    with pytest.raises(ConfigurationError):
+        validate_thresholds(0.1, 0.2)
+
+
+def test_validate_thresholds_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        validate_thresholds(-0.01, 0.18)
+    with pytest.raises(ConfigurationError):
+        validate_thresholds(0.0, 0.0)
+
+
+def test_negative_load_rejected():
+    with pytest.raises(ConfigurationError):
+        replication_source_max_decrease(-1.0)
+
+
+def test_zero_affinity_rejected():
+    with pytest.raises(ConfigurationError):
+        replication_target_max_increase(1.0, 0)

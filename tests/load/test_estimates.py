@@ -1,0 +1,74 @@
+"""Unit tests for the per-host load estimator (Section 2.1 semantics)."""
+
+import pytest
+
+from repro.load.estimates import LoadEstimator
+
+
+def test_clean_estimator_tracks_measurements():
+    estimator = LoadEstimator()
+    estimator.on_measurement(5.0, interval_start=0.0)
+    assert estimator.base_load == 5.0
+    assert estimator.upper == 5.0
+    assert estimator.lower == 5.0
+    assert not estimator.dirty
+
+
+def test_acquire_bumps_upper_only():
+    estimator = LoadEstimator(10.0)
+    estimator.note_acquired(4.0, now=5.0)
+    assert estimator.upper == 14.0
+    assert estimator.lower == 10.0
+    assert estimator.dirty
+
+
+def test_shed_lowers_lower_only():
+    estimator = LoadEstimator(10.0)
+    estimator.note_shed(3.0, now=5.0)
+    assert estimator.lower == 7.0
+    assert estimator.upper == 10.0
+
+
+def test_lower_clamped_at_zero():
+    estimator = LoadEstimator(2.0)
+    estimator.note_shed(5.0, now=1.0)
+    assert estimator.lower == 0.0
+
+
+def test_dirty_measurement_is_ignored():
+    """A measurement whose interval contains a relocation is unreliable:
+    the estimator keeps its pre-relocation base plus adjustments."""
+    estimator = LoadEstimator()
+    estimator.on_measurement(10.0, interval_start=0.0)
+    estimator.note_acquired(4.0, now=25.0)
+    # The interval [20, 40] contains the relocation at t=25.
+    estimator.on_measurement(11.0, interval_start=20.0)
+    assert estimator.base_load == 10.0
+    assert estimator.upper == 14.0
+
+
+def test_clean_measurement_after_relocation_resets():
+    estimator = LoadEstimator()
+    estimator.on_measurement(10.0, interval_start=0.0)
+    estimator.note_acquired(4.0, now=25.0)
+    # The interval [40, 60] starts after the relocation: trustworthy.
+    estimator.on_measurement(13.0, interval_start=40.0)
+    assert estimator.base_load == 13.0
+    assert estimator.upper == 13.0
+    assert not estimator.dirty
+
+
+def test_relocation_exactly_at_interval_start_is_dirty():
+    estimator = LoadEstimator()
+    estimator.note_acquired(4.0, now=20.0)
+    estimator.on_measurement(9.0, interval_start=20.0)
+    assert estimator.dirty
+
+
+def test_adjustments_accumulate():
+    estimator = LoadEstimator(10.0)
+    estimator.note_acquired(4.0, now=1.0)
+    estimator.note_acquired(2.0, now=2.0)
+    estimator.note_shed(1.0, now=3.0)
+    assert estimator.upper == 16.0
+    assert estimator.lower == 9.0

@@ -1,0 +1,49 @@
+"""Unit tests for the load meter."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.load.metrics import LoadMeter
+
+
+def test_tick_computes_rates():
+    meter = LoadMeter(20.0)
+    for _ in range(40):
+        meter.record_service(1)
+    for _ in range(20):
+        meter.record_service(2)
+    load = meter.tick(20.0)
+    assert load == pytest.approx(3.0)
+    assert meter.object_load(1) == pytest.approx(2.0)
+    assert meter.object_load(2) == pytest.approx(1.0)
+    assert meter.object_load(3) == 0.0
+
+
+def test_counters_reset_each_interval():
+    meter = LoadMeter(10.0)
+    meter.record_service(1)
+    meter.tick(10.0)
+    load = meter.tick(20.0)
+    assert load == 0.0
+    assert meter.object_loads == {}
+
+
+def test_partial_first_interval_uses_elapsed():
+    meter = LoadMeter(20.0, start=5.0)
+    for _ in range(10):
+        meter.record_service(1)
+    load = meter.tick(10.0)  # only 5 seconds elapsed
+    assert load == pytest.approx(2.0)
+    assert meter.interval_start == 10.0
+
+
+def test_zero_elapsed_keeps_previous_load():
+    meter = LoadMeter(10.0)
+    meter.record_service(1)
+    meter.tick(10.0)
+    assert meter.tick(10.0) == pytest.approx(0.1)
+
+
+def test_invalid_interval():
+    with pytest.raises(ConfigurationError):
+        LoadMeter(0.0)

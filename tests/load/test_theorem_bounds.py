@@ -1,0 +1,191 @@
+"""Simulation-backed checks of Theorems 1-5 under steady demand.
+
+The theorems bound the load changes caused by a single replication or
+migration "under steady demand and in the absence of other replications
+and migrations".  We construct exactly those conditions: a fixed system,
+evenly spaced requests, one replica-set change, and compare the serviced
+loads before and after against the bounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.load.bounds import (
+    migration_source_max_decrease,
+    migration_target_max_increase,
+    post_replication_min_unit_count,
+    replication_source_max_decrease,
+    replication_target_max_increase,
+)
+from repro.sim.engine import Simulator
+from repro.topology.generators import two_cluster_topology
+from tests.conftest import make_system
+
+OBJ = 0
+
+
+def _steady_system(*, affinity: int = 1):
+    """One object on host 0, requests arriving evenly from every node."""
+    sim = Simulator()
+    topology = two_cluster_topology(cluster_size=3, bridge_length=2)
+    system = make_system(
+        sim,
+        topology,
+        num_objects=1,
+        # Watermarks irrelevant here; placement disabled.
+        config=ProtocolConfig(high_watermark=1e9, low_watermark=1e9 - 1),
+        enable_placement=False,
+    )
+    system.place_initial(OBJ, 0)
+    redirector = system.redirectors.for_object(OBJ)
+    for _ in range(affinity - 1):
+        system.hosts[0].store.add(OBJ)
+        redirector.replica_created(OBJ, 0, system.hosts[0].store.affinity(OBJ))
+    return sim, system
+
+
+def _drive(sim, system, *, start, end, rate_per_node=5.0):
+    """Evenly spaced requests from every node in [start, end)."""
+    nodes = list(system.routes.topology.nodes)
+    interval = 1.0 / rate_per_node
+    for node_index, node in enumerate(nodes):
+        t = start + (node_index / len(nodes)) * interval
+        while t < end:
+            sim.schedule_at(t, system.submit_request, node, OBJ)
+            t += interval
+
+
+def _serviced_rate(system, host, duration):
+    return system.hosts[host].serviced_total / duration
+
+
+def test_theorem1_replication_source_decrease_bounded():
+    sim, system = _steady_system()
+    _drive(sim, system, start=0.0, end=50.0)
+    sim.run(until=51.0)
+    before = system.hosts[0].serviced_total / 50.0
+
+    # Replicate onto the far cluster's host 5.
+    system.hosts[5].store.add(OBJ)
+    system.redirectors.for_object(OBJ).replica_created(OBJ, 5, 1)
+    base = system.hosts[0].serviced_total
+    _drive(sim, system, start=60.0, end=160.0)
+    sim.run(until=161.0)
+    after = (system.hosts[0].serviced_total - base) / 100.0
+
+    decrease = before - after
+    assert decrease <= replication_source_max_decrease(before) + 0.1 * before
+
+
+def test_theorem2_replication_target_increase_bounded():
+    for affinity in (1, 2, 4):
+        sim, system = _steady_system(affinity=affinity)
+        _drive(sim, system, start=0.0, end=50.0)
+        sim.run(until=51.0)
+        before_source = system.hosts[0].serviced_total / 50.0
+
+        system.hosts[5].store.add(OBJ)
+        system.redirectors.for_object(OBJ).replica_created(OBJ, 5, 1)
+        _drive(sim, system, start=60.0, end=160.0)
+        sim.run(until=161.0)
+        target_rate = system.hosts[5].serviced_total / 100.0
+
+        bound = replication_target_max_increase(before_source, affinity)
+        assert target_rate <= bound + 0.1 * before_source
+
+
+def test_theorem3_migration_source_decrease_bounded():
+    for affinity in (2, 3):
+        sim, system = _steady_system(affinity=affinity)
+        _drive(sim, system, start=0.0, end=50.0)
+        sim.run(until=51.0)
+        before = system.hosts[0].serviced_total / 50.0
+
+        # Migrate one affinity unit 0 -> 5.
+        redirector = system.redirectors.for_object(OBJ)
+        system.hosts[5].store.add(OBJ)
+        redirector.replica_created(OBJ, 5, 1)
+        new_affinity = system.hosts[0].store.reduce(OBJ)
+        redirector.affinity_reduced(OBJ, 0, new_affinity)
+
+        base = system.hosts[0].serviced_total
+        _drive(sim, system, start=60.0, end=160.0)
+        sim.run(until=161.0)
+        after = (system.hosts[0].serviced_total - base) / 100.0
+
+        decrease = before - after
+        bound = migration_source_max_decrease(before, affinity)
+        assert decrease <= bound + 0.1 * before
+
+
+def test_theorem4_migration_target_increase_bounded():
+    sim, system = _steady_system(affinity=2)
+    _drive(sim, system, start=0.0, end=50.0)
+    sim.run(until=51.0)
+    before = system.hosts[0].serviced_total / 50.0
+
+    redirector = system.redirectors.for_object(OBJ)
+    system.hosts[5].store.add(OBJ)
+    redirector.replica_created(OBJ, 5, 1)
+    new_affinity = system.hosts[0].store.reduce(OBJ)
+    redirector.affinity_reduced(OBJ, 0, new_affinity)
+
+    _drive(sim, system, start=60.0, end=160.0)
+    sim.run(until=161.0)
+    target_rate = system.hosts[5].serviced_total / 100.0
+    assert target_rate <= migration_target_max_increase(before, 2) + 0.1 * before
+
+
+def test_theorem5_every_replica_keeps_quarter_share():
+    """After replication, no replica's request share collapses below the
+    m/4 floor relative to the pre-replication unit count (steady demand,
+    factor-2 distribution)."""
+    sim, system = _steady_system()
+    _drive(sim, system, start=0.0, end=50.0)
+    sim.run(until=51.0)
+    unit_before = system.hosts[0].serviced_total / 50.0
+
+    system.hosts[5].store.add(OBJ)
+    system.redirectors.for_object(OBJ).replica_created(OBJ, 5, 1)
+    base0 = system.hosts[0].serviced_total
+    _drive(sim, system, start=60.0, end=160.0)
+    sim.run(until=161.0)
+    rate0 = (system.hosts[0].serviced_total - base0) / 100.0
+    rate5 = system.hosts[5].serviced_total / 100.0
+
+    floor = post_replication_min_unit_count(unit_before)
+    assert rate0 >= floor - 0.1 * unit_before
+    assert rate5 >= floor - 0.1 * unit_before
+
+
+def test_distribution_constant_respects_bound_family():
+    """With constant C instead of 2, a replica that is closest to *all*
+    requests keeps a C/(C+1) share of them; check the C=3 variant to
+    guard the formulas' parameterisation assumptions."""
+    sim = Simulator()
+    topology = two_cluster_topology(cluster_size=3, bridge_length=2)
+    system = make_system(
+        sim,
+        topology,
+        num_objects=1,
+        config=ProtocolConfig(
+            high_watermark=1e9, low_watermark=1e9 - 1, distribution_constant=3.0
+        ),
+        enable_placement=False,
+    )
+    system.place_initial(OBJ, 0)
+    system.hosts[5].store.add(OBJ)
+    system.redirectors.for_object(OBJ).replica_created(OBJ, 5, 1)
+    # Drive requests only from cluster A, all of which are closest to 0.
+    interval = 0.2
+    for index, node in enumerate((0, 1, 2)):
+        t = index / 3 * interval
+        while t < 100.0:
+            sim.schedule_at(t, system.submit_request, node, OBJ)
+            t += interval
+    sim.run(until=101.0)
+    total = system.hosts[0].serviced_total + system.hosts[5].serviced_total
+    share0 = system.hosts[0].serviced_total / total
+    assert share0 == pytest.approx(3.0 / 4.0, abs=0.08)

@@ -1,0 +1,56 @@
+"""Tests for the adjustment-time statistic (Table 2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.adjustment import adjustment_time, equilibrium_level
+from repro.metrics.collectors import TimeSeries
+
+
+def series_from(values, dt=60.0):
+    series = TimeSeries()
+    for index, value in enumerate(values):
+        series.append(index * dt, value)
+    return series
+
+
+def test_equilibrium_is_tail_mean():
+    series = series_from([100, 80, 60, 40, 20, 10, 10, 10])
+    assert equilibrium_level(series) == pytest.approx(10.0)
+
+
+def test_adjustment_time_finds_settle_point():
+    # Equilibrium 10; threshold 11; last value above 11 is index 4 (20).
+    series = series_from([100, 80, 60, 40, 20, 10, 10, 10])
+    assert adjustment_time(series) == 5 * 60.0
+
+
+def test_adjustment_time_ignores_brief_early_dips():
+    series = series_from([100, 9, 100, 40, 10, 10, 10, 10])
+    assert adjustment_time(series) == 4 * 60.0
+
+
+def test_flat_series_adjusts_immediately():
+    series = series_from([10, 10, 10, 10])
+    assert adjustment_time(series) == 0.0
+
+
+def test_never_settling_raises():
+    # The final sample spikes above the tail-mean threshold: no settle
+    # point exists within the run.
+    series = series_from([10] * 12 + [100])
+    with pytest.raises(ConfigurationError):
+        adjustment_time(series)
+
+
+def test_empty_series_raises():
+    with pytest.raises(ConfigurationError):
+        adjustment_time(TimeSeries())
+
+
+def test_margin_parameter():
+    series = series_from([100, 12, 10, 10, 10, 10, 10, 10])
+    # 12 <= 1.25 * 10: settles at t=60 with a 25% margin...
+    assert adjustment_time(series, margin=0.25) == 60.0
+    # ...but not with the default 10%.
+    assert adjustment_time(series) == 120.0

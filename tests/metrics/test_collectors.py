@@ -1,0 +1,95 @@
+"""Unit tests for time-series containers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.collectors import BucketedSeries, TimeSeries
+
+
+def test_time_series_append_and_stats():
+    series = TimeSeries()
+    for t, v in [(0, 4.0), (1, 2.0), (2, 6.0), (3, 0.0)]:
+        series.append(t, v)
+    assert len(series) == 4
+    assert series.max() == 6.0
+    assert series.mean() == 3.0
+    assert list(series.items()) == [(0, 4.0), (1, 2.0), (2, 6.0), (3, 0.0)]
+
+
+def test_time_series_rejects_unordered():
+    series = TimeSeries()
+    series.append(5.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        series.append(4.0, 1.0)
+
+
+def test_mean_tail():
+    series = TimeSeries()
+    for t in range(8):
+        series.append(t, float(t))
+    assert series.mean_tail(0.25) == pytest.approx(6.5)  # last 2 samples
+    assert series.mean_tail(1.0) == pytest.approx(3.5)
+    with pytest.raises(ConfigurationError):
+        series.mean_tail(0.0)
+
+
+def test_after_filters_by_time():
+    series = TimeSeries()
+    for t in range(5):
+        series.append(t, float(t))
+    tail = series.after(2.5)
+    assert tail.times == [3, 4]
+
+
+def test_empty_series_stats_raise():
+    series = TimeSeries()
+    with pytest.raises(ConfigurationError):
+        series.max()
+    with pytest.raises(ConfigurationError):
+        series.mean()
+
+
+def test_bucketed_sums_include_gaps():
+    buckets = BucketedSeries(10.0)
+    buckets.add(5.0, 2.0)
+    buckets.add(35.0, 4.0)
+    series = buckets.sums()
+    assert series.times == [0.0, 10.0, 20.0, 30.0]
+    assert series.values == [2.0, 0.0, 0.0, 4.0]
+
+
+def test_bucketed_means_skip_empty():
+    buckets = BucketedSeries(10.0)
+    buckets.add(1.0, 2.0)
+    buckets.add(2.0, 4.0)
+    buckets.add(25.0, 10.0)
+    series = buckets.means()
+    assert series.times == [0.0, 20.0]
+    assert series.values == [3.0, 10.0]
+
+
+def test_bucketed_rates():
+    buckets = BucketedSeries(10.0)
+    buckets.add(1.0, 50.0)
+    assert buckets.rates().values == [5.0]
+
+
+def test_bucketed_accepts_out_of_order_adds():
+    buckets = BucketedSeries(10.0)
+    buckets.add(25.0, 1.0)
+    buckets.add(5.0, 2.0)
+    assert buckets.sums().values == [2.0, 0.0, 1.0]
+
+
+def test_bucketed_totals():
+    buckets = BucketedSeries(10.0)
+    buckets.add(1.0, 2.0)
+    buckets.add(11.0, 3.0)
+    assert buckets.total() == 5.0
+    assert buckets.count() == 2
+    assert len(buckets) == 2
+
+
+def test_invalid_bucket_width():
+    with pytest.raises(ConfigurationError):
+        BucketedSeries(0.0)

@@ -1,0 +1,74 @@
+"""Tests for the replica census and load collectors."""
+
+import pytest
+
+from repro.metrics.loadstats import LoadCollector
+from repro.metrics.replicas import ReplicaCollector
+from repro.sim.engine import Simulator
+from repro.topology.generators import line_topology
+from tests.conftest import make_system
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    system = make_system(sim, line_topology(4), num_objects=4)
+    system.initialize_round_robin()
+    return sim, system
+
+
+def test_replica_census_tracks_changes(setup):
+    sim, system = setup
+    collector = ReplicaCollector(system, sample_interval=10.0)
+    assert collector.current_total == 4
+    system.hosts[2].store.add(0)
+    system.redirectors.for_object(0).replica_created(0, 2, 1)
+    assert collector.current_total == 5
+    assert collector.created == 1
+    system.redirectors.for_object(0).request_drop(0, 2)
+    system.hosts[2].store.drop(0)
+    assert collector.current_total == 4
+    assert collector.dropped == 1
+    assert collector.replicas_per_object() == 1.0
+
+
+def test_replica_census_ignores_affinity_changes(setup):
+    sim, system = setup
+    collector = ReplicaCollector(system)
+    system.hosts[0].store.add(0)
+    system.redirectors.for_object(0).replica_created(0, 0, 2)
+    assert collector.current_total == 4  # affinity bump, same replica
+
+
+def test_replica_series_sampling(setup):
+    sim, system = setup
+    collector = ReplicaCollector(system, sample_interval=10.0)
+    sim.run(until=35.0)
+    assert collector.series.times == [0.0, 10.0, 20.0, 30.0]
+    assert collector.equilibrium_replicas_per_object() == 1.0
+
+
+def test_load_collector_max_and_focal(setup):
+    sim, system = setup
+    system.start()
+    collector = LoadCollector(system, focal_host=0)
+    for _ in range(100):
+        system.submit_request(gateway=0, obj=0)
+    sim.run(until=45.0)
+    collector.finalize()
+    assert collector.max_load() > 0
+    assert len(collector.focal_samples) >= 2
+    sample = collector.focal_samples[-1]
+    assert sample.lower_estimate <= sample.load <= sample.upper_estimate
+    assert collector.bounds_violations() == 0
+
+
+def test_load_collector_mean_below_max(setup):
+    sim, system = setup
+    system.start()
+    collector = LoadCollector(system)
+    for _ in range(50):
+        system.submit_request(gateway=0, obj=0)
+    sim.run(until=45.0)
+    collector.finalize()
+    assert collector.mean_series.values[-1] <= collector.max_series.values[-1]

@@ -1,0 +1,64 @@
+"""Tests for the plain-text report renderers."""
+
+import pytest
+
+from repro.metrics.collectors import TimeSeries
+from repro.metrics.report import (
+    format_table,
+    percent,
+    reduction_percent,
+    series_summary,
+    sparkline,
+)
+
+
+def make_series(values):
+    series = TimeSeries()
+    for index, value in enumerate(values):
+        series.append(float(index), value)
+    return series
+
+
+def test_format_table_aligns_columns():
+    text = format_table(
+        ["name", "value"],
+        [["a", "1"], ["longer", "22"]],
+        title="T",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].startswith("name")
+    assert all(len(line) >= len("longer  22") for line in lines[2:])
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only one"]])
+
+
+def test_sparkline_monotone_heights():
+    line = sparkline(make_series([0, 1, 2, 3, 4]))
+    assert len(line) == 5
+    assert line == "".join(sorted(line))
+
+
+def test_sparkline_resamples_long_series():
+    line = sparkline(make_series(list(range(600))), width=60)
+    assert len(line) == 60
+
+
+def test_sparkline_empty_and_zero():
+    assert sparkline(TimeSeries()) == "(empty series)"
+    assert set(sparkline(make_series([0, 0, 0]))) == {" "}
+
+
+def test_series_summary_mentions_reduction():
+    text = series_summary("bw", make_series([100.0, 100.0, 50.0, 50.0]))
+    assert "start=100" in text
+    assert "reduction=50.0%" in text
+
+
+def test_percent_and_reduction_helpers():
+    assert percent(0.123) == "12.3%"
+    assert reduction_percent(100.0, 25.0) == pytest.approx(0.75)
+    assert reduction_percent(0.0, 25.0) == 0.0

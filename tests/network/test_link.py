@@ -1,0 +1,33 @@
+"""Unit tests for per-link byte counters."""
+
+import pytest
+
+from repro.network.link import Link
+from repro.network.message import MessageClass
+
+
+def test_endpoints_are_normalised():
+    assert Link(5, 2).endpoints == (2, 5)
+
+
+def test_self_link_rejected():
+    with pytest.raises(ValueError):
+        Link(3, 3)
+
+
+def test_record_accumulates_by_class():
+    link = Link(0, 1)
+    link.record(100, MessageClass.RESPONSE)
+    link.record(50, MessageClass.RESPONSE)
+    link.record(10, MessageClass.CONTROL)
+    assert link.bytes_by_class[MessageClass.RESPONSE] == 150
+    assert link.bytes_by_class[MessageClass.CONTROL] == 10
+    assert link.total_bytes == 160
+
+
+def test_utilisation():
+    link = Link(0, 1)
+    link.record(1000, MessageClass.RESPONSE)
+    assert link.utilisation(10.0, 100.0) == pytest.approx(1.0)
+    assert link.utilisation(100.0, 100.0) == pytest.approx(0.1)
+    assert link.utilisation(0.0, 100.0) == 0.0

@@ -1,0 +1,107 @@
+"""Unit tests for the transport layer: delays, accounting, observers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.network.message import MessageClass
+from repro.network.transport import Network
+from repro.routing.routes_db import RoutingDatabase
+from repro.sim.engine import Simulator
+from repro.topology.generators import line_topology
+
+
+@pytest.fixture
+def net():
+    sim = Simulator()
+    routes = RoutingDatabase(line_topology(4))
+    return sim, Network(sim, routes, hop_delay=0.01, bandwidth=1000.0)
+
+
+def test_delay_store_and_forward(net):
+    _, network = net
+    # 2 hops, 100 bytes at 1000 B/s: per hop 0.01 + 0.1.
+    assert network.delay(2, 100) == pytest.approx(2 * (0.01 + 0.1))
+    assert network.delay(0, 100) == 0.0
+
+
+def test_delay_cut_through():
+    sim = Simulator()
+    routes = RoutingDatabase(line_topology(3))
+    network = Network(
+        sim, routes, hop_delay=0.01, bandwidth=1000.0, store_and_forward=False
+    )
+    assert network.delay(2, 100) == pytest.approx(2 * 0.01 + 0.1)
+
+
+def test_send_schedules_callback_after_delay(net):
+    sim, network = net
+    arrived = []
+    hops, delay = network.send(
+        0, 2, 100, MessageClass.REQUEST, lambda: arrived.append(sim.now)
+    )
+    assert hops == 2
+    sim.run()
+    assert arrived == [pytest.approx(delay)]
+
+
+def test_local_delivery_is_immediate(net):
+    sim, network = net
+    arrived = []
+    hops, delay = network.send(
+        1, 1, 100, MessageClass.REQUEST, lambda: arrived.append(sim.now)
+    )
+    assert hops == 0 and delay == 0.0
+    sim.run()
+    assert arrived == [0.0]
+
+
+def test_byte_hop_accounting(net):
+    _, network = net
+    network.account(0, 3, 10, MessageClass.RESPONSE)
+    network.account(1, 2, 5, MessageClass.CONTROL)
+    assert network.byte_hops[MessageClass.RESPONSE] == 30
+    assert network.byte_hops[MessageClass.CONTROL] == 5
+    assert network.total_byte_hops() == 35
+
+
+def test_per_link_attribution(net):
+    _, network = net
+    network.account(0, 2, 10, MessageClass.RESPONSE)
+    assert network.link(0, 1).total_bytes == 10
+    assert network.link(1, 2).total_bytes == 10
+    assert network.link(2, 3).total_bytes == 0
+    # Order of endpoints doesn't matter.
+    assert network.link(1, 0).total_bytes == 10
+
+
+def test_link_lookup_errors(net):
+    _, network = net
+    with pytest.raises(SimulationError):
+        network.link(0, 2)  # not adjacent
+
+
+def test_links_disabled():
+    sim = Simulator()
+    routes = RoutingDatabase(line_topology(3))
+    network = Network(sim, routes, track_links=False)
+    network.account(0, 2, 10, MessageClass.RESPONSE)
+    assert network.byte_hops[MessageClass.RESPONSE] == 20
+    with pytest.raises(SimulationError):
+        network.links()
+
+
+def test_observers_see_every_send(net):
+    sim, network = net
+    seen = []
+    network.add_observer(lambda *args: seen.append(args))
+    network.account(0, 3, 7, MessageClass.RELOCATION)
+    assert seen == [(0.0, 0, 3, 3, 7, MessageClass.RELOCATION)]
+
+
+def test_invalid_parameters():
+    sim = Simulator()
+    routes = RoutingDatabase(line_topology(2))
+    with pytest.raises(SimulationError):
+        Network(sim, routes, hop_delay=-1)
+    with pytest.raises(SimulationError):
+        Network(sim, routes, bandwidth=0)

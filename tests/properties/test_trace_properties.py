@@ -1,0 +1,46 @@
+"""Property tests for the trace interchange format."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.trace import Trace, TraceRecord
+
+record_tuples = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.integers(min_value=0, max_value=52),
+        st.integers(min_value=0, max_value=9999),
+    ),
+    max_size=50,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(record_tuples)
+def test_save_load_round_trip_preserves_structure(tuples):
+    import tempfile
+    from pathlib import Path
+
+    tuples.sort(key=lambda t: t[0])
+    trace = Trace([TraceRecord(*t) for t in tuples])
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "t.csv"
+        trace.save(path)
+        loaded = Trace.load(path)
+    assert len(loaded) == len(trace)
+    for original, parsed in zip(trace, loaded):
+        # Times survive to the format's microsecond precision.
+        assert abs(parsed.time - original.time) <= 5e-7 * max(1.0, original.time)
+        assert parsed.gateway == original.gateway
+        assert parsed.obj == original.obj
+    # Aggregate statistics are format-stable.
+    assert loaded.gateways() == trace.gateways()
+    assert loaded.popularity() == trace.popularity()
+
+
+@settings(max_examples=40, deadline=None)
+@given(record_tuples)
+def test_popularity_conserves_requests(tuples):
+    tuples.sort(key=lambda t: t[0])
+    trace = Trace([TraceRecord(*t) for t in tuples])
+    assert sum(trace.popularity().values()) == len(trace)

@@ -1,0 +1,80 @@
+"""Tests for greedy k-median redirector placement."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.placement_opt import (
+    assign_partitions,
+    greedy_k_median,
+    mean_detour,
+)
+from repro.routing.routes_db import RoutingDatabase
+from repro.topology.generators import line_topology, star_topology, two_cluster_topology
+from repro.topology.uunet import uunet_backbone
+
+
+def test_k1_matches_paper_heuristic():
+    routes = RoutingDatabase(uunet_backbone())
+    assert greedy_k_median(routes, 1) == [routes.min_mean_distance_node()]
+
+
+def test_line_centers():
+    routes = RoutingDatabase(line_topology(9))
+    assert greedy_k_median(routes, 1) == [4]
+    two = greedy_k_median(routes, 2)
+    # Two centers split the line into halves around the quarter points.
+    assert len(two) == 2
+    assert mean_detour(routes, two) < mean_detour(routes, [4])
+
+
+def test_star_center_is_hub():
+    routes = RoutingDatabase(star_topology(7))
+    assert greedy_k_median(routes, 1) == [0]
+
+
+def test_two_clusters_get_one_center_each():
+    topology = two_cluster_topology(cluster_size=4, bridge_length=4)
+    routes = RoutingDatabase(topology)
+    centers = greedy_k_median(routes, 2)
+    sides = {center < 4 for center in centers if center < 4 or center >= 7}
+    # One center in (or adjacent to) each cluster: mean detour near 1.
+    assert mean_detour(routes, centers) < 1.5
+
+
+def test_detour_monotone_in_k():
+    routes = RoutingDatabase(uunet_backbone())
+    previous = float("inf")
+    for k in (1, 2, 4, 8):
+        detour = mean_detour(routes, greedy_k_median(routes, k))
+        assert detour <= previous
+        previous = detour
+    assert mean_detour(routes, greedy_k_median(routes, routes.num_nodes)) == 0.0
+
+
+def test_deterministic():
+    routes = RoutingDatabase(uunet_backbone())
+    assert greedy_k_median(routes, 5) == greedy_k_median(routes, 5)
+
+
+def test_invalid_k():
+    routes = RoutingDatabase(line_topology(3))
+    with pytest.raises(RoutingError):
+        greedy_k_median(routes, 0)
+    with pytest.raises(RoutingError):
+        greedy_k_median(routes, 4)
+
+
+def test_assign_partitions():
+    routes = RoutingDatabase(line_topology(9))
+    centers = greedy_k_median(routes, 3)
+    table = assign_partitions(routes, centers, 100)
+    assert set(table) == {0, 1, 2}
+    assert set(table.values()) == set(centers)
+    with pytest.raises(RoutingError):
+        assign_partitions(routes, [], 10)
+
+
+def test_mean_detour_requires_centers():
+    routes = RoutingDatabase(line_topology(3))
+    with pytest.raises(RoutingError):
+        mean_detour(routes, [])

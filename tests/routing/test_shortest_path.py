@@ -1,0 +1,79 @@
+"""Unit and property tests for deterministic shortest paths."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.shortest_path import all_pairs_shortest_paths
+from repro.topology.generators import (
+    grid_topology,
+    line_topology,
+    random_geometric_topology,
+    ring_topology,
+)
+
+
+def test_line_paths_are_exact():
+    dist, paths = all_pairs_shortest_paths(line_topology(4))
+    assert dist[0][3] == 3
+    assert paths[(0, 3)] == (0, 1, 2, 3)
+    assert paths[(3, 0)] == (3, 2, 1, 0)
+    assert paths[(2, 2)] == (2,)
+
+
+def test_distances_are_symmetric():
+    dist, _ = all_pairs_shortest_paths(grid_topology(3, 3))
+    n = 9
+    for i in range(n):
+        for j in range(n):
+            assert dist[i][j] == dist[j][i]
+
+
+def test_paths_have_shortest_length():
+    dist, paths = all_pairs_shortest_paths(ring_topology(7))
+    for (i, j), path in paths.items():
+        assert len(path) == dist[i][j] + 1
+        assert path[0] == i and path[-1] == j
+
+
+def test_paths_are_valid_walks():
+    topology = grid_topology(3, 4)
+    _, paths = all_pairs_shortest_paths(topology)
+    edges = set(topology.links())
+    for path in paths.values():
+        for a, b in zip(path, path[1:]):
+            assert (min(a, b), max(a, b)) in edges
+
+
+def test_fixed_path_per_pair_is_deterministic():
+    topology = grid_topology(4, 4)
+    _, paths_a = all_pairs_shortest_paths(topology)
+    _, paths_b = all_pairs_shortest_paths(topology)
+    assert paths_a == paths_b
+
+
+def test_tie_break_spreads_across_parents():
+    """In a 2x4 grid every pair has equal-cost options; the hashed ECMP
+    tie-break must not send every source through the same corner."""
+    topology = grid_topology(4, 4)
+    _, paths = all_pairs_shortest_paths(topology)
+    # Opposite corners 0 and 15: the 0->15 paths of the 16 sources going
+    # to 15 shouldn't all share one interior node.
+    from collections import Counter
+
+    interior_use = Counter()
+    for source in range(16):
+        for node in paths[(source, 15)][1:-1]:
+            interior_use[node] += 1
+    if interior_use:
+        assert max(interior_use.values()) < 16
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=5, max_value=40))
+def test_triangle_inequality(n):
+    topology = random_geometric_topology(n, seed=n * 3 + 1)
+    dist, _ = all_pairs_shortest_paths(topology)
+    for i in range(n):
+        for j in range(n):
+            for k in range(0, n, max(1, n // 5)):
+                assert dist[i][j] <= dist[i][k] + dist[k][j]

@@ -1,0 +1,74 @@
+"""Tests for the scenario runner on short, small-scale runs."""
+
+import pytest
+
+from repro.baselines.round_robin import RoundRobinRedirector
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.presets import paper_scenario
+from repro.scenarios.runner import build_system, make_workload, run_scenario
+from repro.sim.rng import RngFactory
+from repro.topology.generators import two_cluster_topology
+from repro.topology.uunet import uunet_backbone
+
+
+def tiny_config(**overrides):
+    base = paper_scenario("uniform", scale=0.05, duration=120.0, seed=3)
+    return base.replace(bucket=30.0, **overrides)
+
+
+def test_run_scenario_produces_consistent_results():
+    result = run_scenario(tiny_config())
+    assert result.latency.completed > 1000
+    assert result.bandwidth.total_byte_hops() > 0
+    assert result.replicas.current_total >= result.config.num_objects
+    result.system.check_invariants()
+
+
+def test_run_scenario_is_deterministic():
+    a = run_scenario(tiny_config())
+    b = run_scenario(tiny_config())
+    assert a.latency.completed == b.latency.completed
+    assert a.bandwidth.total_byte_hops() == b.bandwidth.total_byte_hops()
+    assert a.replicas.current_total == b.replicas.current_total
+
+
+def test_different_seeds_differ():
+    a = run_scenario(tiny_config())
+    b = run_scenario(tiny_config(seed=4))
+    assert a.bandwidth.total_byte_hops() != b.bandwidth.total_byte_hops()
+
+
+def test_static_scenario_never_moves_objects():
+    result = run_scenario(tiny_config(dynamic=False))
+    assert result.system.placement_events == []
+    assert result.replicas.current_total == result.config.num_objects
+
+
+def test_distribution_policy_selection():
+    _, system, _ = build_system(tiny_config(distribution="round-robin"))
+    assert isinstance(system.redirectors.services[0], RoundRobinRedirector)
+
+
+def test_custom_topology_respected():
+    topology = two_cluster_topology(cluster_size=4, bridge_length=2)
+    config = tiny_config()
+    sim, system, _ = build_system(config, topology=topology)
+    assert system.routes.num_nodes == topology.num_nodes
+
+
+def test_make_workload_names():
+    topology = uunet_backbone()
+    factory = RngFactory(1)
+    for name in ("zipf", "hot-sites", "hot-pages", "regional", "uniform"):
+        config = ScenarioConfig(workload=name, num_objects=1000)
+        workload = make_workload(config, topology, factory)
+        assert workload.num_objects == 1000
+
+
+def test_result_statistics_available():
+    result = run_scenario(tiny_config())
+    assert result.bandwidth_start() > 0
+    assert 0 <= result.overhead_fraction() < 0.5
+    assert result.overhead_fraction_fullscale() <= result.overhead_fraction()
+    assert result.max_load() >= result.max_load_settled() * 0.0
+    assert result.latency_equilibrium() > 0

@@ -1,0 +1,121 @@
+"""Unit tests for the simulator core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_run_fires_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(2.0, fired.append, "b")
+    sim.schedule_at(1.0, fired.append, "a")
+    sim.schedule_at(3.0, fired.append, "c")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_now_advances_with_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+    assert sim.now == 1.5
+
+
+def test_schedule_after_is_relative():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(1.0, lambda: sim.schedule_after(0.5, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [1.5]
+
+
+def test_run_until_stops_clock_at_horizon():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(1.0, fired.append, 1)
+    sim.schedule_at(5.0, fired.append, 5)
+    end = sim.run(until=3.0)
+    assert fired == [1]
+    assert end == 3.0
+    assert sim.pending == 1
+    # Resuming picks up the remaining event.
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_event_at_horizon_still_fires():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(3.0, fired.append, 3)
+    sim.run(until=3.0)
+    assert fired == [3]
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.schedule_at(2.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    with pytest.raises(SimulationError):
+        Simulator().schedule_after(-1.0, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule_at(1.0, fired.append, 1)
+    sim.cancel(event)
+    sim.run()
+    assert fired == []
+
+
+def test_double_cancel_raises():
+    sim = Simulator()
+    event = sim.schedule_at(1.0, lambda: None)
+    sim.cancel(event)
+    with pytest.raises(SimulationError):
+        sim.cancel(event)
+
+
+def test_stop_ends_run_early():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule_at(2.0, fired.append, 2)
+    sim.run()
+    assert fired == [1]
+    assert sim.pending == 1
+
+
+def test_events_scheduled_now_fire_this_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(1.0, lambda: sim.schedule_at(sim.now, fired.append, "nested"))
+    sim.run()
+    assert fired == ["nested"]
+
+
+def test_run_until_advances_clock_when_queue_drains():
+    sim = Simulator()
+    sim.schedule_at(1.0, lambda: None)
+    end = sim.run(until=10.0)
+    assert end == 10.0
+    assert sim.now == 10.0
+
+
+def test_trace_hook_sees_events():
+    sim = Simulator()
+    traced = []
+    sim.trace = traced.append
+    sim.schedule_at(1.0, lambda: None)
+    sim.run()
+    assert len(traced) == 1
+    assert traced[0].time == 1.0

@@ -1,0 +1,69 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+def test_pop_orders_by_time():
+    queue = EventQueue()
+    fired = []
+    queue.push(3.0, fired.append, (3,))
+    queue.push(1.0, fired.append, (1,))
+    queue.push(2.0, fired.append, (2,))
+    times = [queue.pop().time for _ in range(3)]
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_same_time_fires_in_scheduling_order():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None, ())
+    second = queue.push(1.0, lambda: None, ())
+    assert queue.pop() is first
+    assert queue.pop() is second
+
+
+def test_len_counts_live_events():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None, ())
+    queue.push(2.0, lambda: None, ())
+    assert len(queue) == 2
+    event.cancel()
+    queue.note_cancelled()
+    assert len(queue) == 1
+
+
+def test_pop_skips_cancelled():
+    queue = EventQueue()
+    doomed = queue.push(1.0, lambda: None, ())
+    survivor = queue.push(2.0, lambda: None, ())
+    doomed.cancel()
+    queue.note_cancelled()
+    assert queue.pop() is survivor
+
+
+def test_pop_empty_raises():
+    queue = EventQueue()
+    with pytest.raises(SimulationError):
+        queue.pop()
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    doomed = queue.push(1.0, lambda: None, ())
+    queue.push(5.0, lambda: None, ())
+    doomed.cancel()
+    queue.note_cancelled()
+    assert queue.peek_time() == 5.0
+
+
+def test_peek_time_empty_is_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_bool_reflects_liveness():
+    queue = EventQueue()
+    assert not queue
+    queue.push(1.0, lambda: None, ())
+    assert queue

@@ -1,0 +1,73 @@
+"""Unit tests for periodic processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+
+
+def test_fires_every_interval():
+    sim = Simulator()
+    ticks = []
+    PeriodicProcess(sim, 10.0, ticks.append)
+    sim.run(until=35.0)
+    assert ticks == [10.0, 20.0, 30.0]
+
+
+def test_first_fire_after_one_interval_by_default():
+    sim = Simulator()
+    ticks = []
+    PeriodicProcess(sim, 5.0, ticks.append)
+    sim.run(until=4.9)
+    assert ticks == []
+
+
+def test_fire_immediately_option():
+    sim = Simulator()
+    ticks = []
+    PeriodicProcess(sim, 5.0, ticks.append, fire_immediately=True)
+    sim.run(until=6.0)
+    assert ticks == [0.0, 5.0]
+
+
+def test_start_offset():
+    sim = Simulator()
+    ticks = []
+    PeriodicProcess(sim, 10.0, ticks.append, start=3.0)
+    sim.run(until=25.0)
+    assert ticks == [13.0, 23.0]
+
+
+def test_stop_halts_ticks():
+    sim = Simulator()
+    ticks = []
+    process = PeriodicProcess(sim, 10.0, ticks.append)
+    sim.schedule_at(15.0, process.stop)
+    sim.run(until=50.0)
+    assert ticks == [10.0]
+    assert not process.active
+
+
+def test_stop_is_idempotent():
+    sim = Simulator()
+    process = PeriodicProcess(sim, 10.0, lambda t: None)
+    process.stop()
+    process.stop()
+    assert not process.active
+
+
+def test_nonpositive_interval_rejected():
+    with pytest.raises(SimulationError):
+        PeriodicProcess(Simulator(), 0.0, lambda t: None)
+
+
+def test_callback_exceptions_propagate():
+    sim = Simulator()
+
+    def boom(now):
+        raise RuntimeError("tick failed")
+
+    PeriodicProcess(sim, 1.0, boom)
+    with pytest.raises(RuntimeError):
+        sim.run(until=2.0)

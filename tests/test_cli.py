@@ -1,0 +1,52 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.workload == "zipf"
+    assert args.scale == 0.15
+    assert not args.high_load
+    assert not args.static
+    assert args.distribution == "paper"
+
+
+def test_parser_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--workload", "nope"])
+
+
+def test_main_runs_small_scenario(capsys):
+    code = main(
+        [
+            "--workload",
+            "uniform",
+            "--scale",
+            "0.05",
+            "--duration",
+            "120",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "bandwidth reduction" in out
+    assert "replicas per object" in out
+
+
+def test_main_static_baseline(capsys):
+    code = main(
+        [
+            "--workload",
+            "uniform",
+            "--scale",
+            "0.05",
+            "--duration",
+            "120",
+            "--static",
+        ]
+    )
+    assert code == 0
+    assert "relocations" in capsys.readouterr().out

@@ -1,0 +1,83 @@
+"""Unit tests for the auxiliary topology generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.routing.routes_db import RoutingDatabase
+from repro.topology.generators import (
+    grid_topology,
+    line_topology,
+    random_geometric_topology,
+    ring_topology,
+    star_topology,
+    two_cluster_topology,
+)
+from repro.topology.regions import Region
+
+
+def test_line_distances():
+    routes = RoutingDatabase(line_topology(5))
+    assert routes.distance(0, 4) == 4
+    assert routes.distance(2, 2) == 0
+
+
+def test_ring_wraps():
+    routes = RoutingDatabase(ring_topology(6))
+    assert routes.distance(0, 3) == 3
+    assert routes.distance(0, 5) == 1
+
+
+def test_star_has_diameter_two():
+    topology = star_topology(8)
+    assert topology.diameter() == 2
+    assert topology.degree(0) == 7
+
+
+def test_grid_shape():
+    topology = grid_topology(3, 4)
+    assert topology.num_nodes == 12
+    assert topology.num_links == 3 * 3 + 2 * 4  # row links + column links
+    routes = RoutingDatabase(topology)
+    assert routes.distance(0, 11) == 2 + 3  # manhattan distance
+
+
+def test_two_cluster_structure():
+    topology = two_cluster_topology(cluster_size=4, bridge_length=3)
+    assert topology.num_nodes == 4 + 2 + 4
+    routes = RoutingDatabase(topology)
+    # Intra-cluster distance 1; bridge endpoints are bridge_length apart;
+    # deeper cluster-B nodes are one hop further.
+    assert routes.distance(0, 1) == 1
+    assert routes.distance(3, 6) == 3
+    assert routes.distance(3, 8) == 4
+    assert topology.region(0) is Region.WESTERN_NA
+    assert topology.region(8) is Region.EUROPE
+    assert topology.region(4) is Region.EASTERN_NA
+
+
+def test_two_cluster_degenerate_bridge():
+    topology = two_cluster_topology(cluster_size=2, bridge_length=1)
+    routes = RoutingDatabase(topology)
+    assert routes.distance(1, 2) == 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=5, max_value=60))
+def test_random_geometric_always_connected(n):
+    topology = random_geometric_topology(n, seed=n)
+    assert topology.num_nodes == n  # Topology validates connectivity
+
+
+def test_generator_input_validation():
+    with pytest.raises(TopologyError):
+        line_topology(0)
+    with pytest.raises(TopologyError):
+        ring_topology(2)
+    with pytest.raises(TopologyError):
+        star_topology(1)
+    with pytest.raises(TopologyError):
+        grid_topology(0, 3)
+    with pytest.raises(TopologyError):
+        random_geometric_topology(1)

@@ -1,0 +1,74 @@
+"""Unit tests for the Topology wrapper."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.graph import Topology
+from repro.topology.regions import Region
+
+
+def test_basic_properties():
+    topology = Topology(nx.path_graph(4), name="p4")
+    assert topology.num_nodes == 4
+    assert topology.num_links == 3
+    assert list(topology.nodes) == [0, 1, 2, 3]
+    assert topology.neighbors(1) == [0, 2]
+    assert topology.degree(0) == 1
+    assert topology.diameter() == 3
+
+
+def test_links_are_normalised_pairs():
+    topology = Topology(nx.path_graph(3))
+    assert sorted(topology.links()) == [(0, 1), (1, 2)]
+
+
+def test_rejects_disconnected():
+    graph = nx.Graph()
+    graph.add_nodes_from(range(4))
+    graph.add_edge(0, 1)
+    graph.add_edge(2, 3)
+    with pytest.raises(TopologyError):
+        Topology(graph)
+
+
+def test_rejects_noncontiguous_ids():
+    graph = nx.Graph()
+    graph.add_nodes_from([0, 2])
+    graph.add_edge(0, 2)
+    with pytest.raises(TopologyError):
+        Topology(graph)
+
+
+def test_rejects_self_loop():
+    graph = nx.path_graph(3)
+    graph.add_edge(1, 1)
+    with pytest.raises(TopologyError):
+        Topology(graph)
+
+
+def test_rejects_empty():
+    with pytest.raises(TopologyError):
+        Topology(nx.Graph())
+
+
+def test_regions_must_cover_all_nodes():
+    graph = nx.path_graph(3)
+    with pytest.raises(TopologyError):
+        Topology(graph, regions={0: Region.EUROPE})
+
+
+def test_region_lookup():
+    graph = nx.path_graph(2)
+    regions = {0: Region.EUROPE, 1: Region.PACIFIC}
+    topology = Topology(graph, regions=regions)
+    assert topology.has_regions
+    assert topology.region(0) is Region.EUROPE
+    assert topology.nodes_in_region(Region.PACIFIC) == [1]
+
+
+def test_region_lookup_without_regions_raises():
+    topology = Topology(nx.path_graph(2))
+    assert not topology.has_regions
+    with pytest.raises(TopologyError):
+        topology.region(0)

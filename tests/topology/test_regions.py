@@ -1,0 +1,42 @@
+"""Unit tests for region bookkeeping."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.regions import (
+    REGION_SIZES,
+    REGIONS,
+    Region,
+    region_of,
+    region_ranges,
+)
+
+
+def test_ranges_are_contiguous_and_ordered():
+    ranges = region_ranges()
+    start = 0
+    for region in REGIONS:
+        ids = ranges[region]
+        assert ids.start == start
+        assert len(ids) == REGION_SIZES[region]
+        start = ids.stop
+    assert start == sum(REGION_SIZES.values())
+
+
+def test_region_of_round_trips():
+    for region in REGIONS:
+        for node in region_ranges()[region]:
+            assert region_of(node) is region
+
+
+def test_region_of_out_of_range():
+    with pytest.raises(TopologyError):
+        region_of(sum(REGION_SIZES.values()))
+
+
+def test_custom_sizes():
+    sizes = {Region.WESTERN_NA: 2, Region.EASTERN_NA: 1}
+    ranges = region_ranges(sizes)
+    assert ranges[Region.WESTERN_NA] == range(0, 2)
+    assert ranges[Region.EASTERN_NA] == range(2, 3)
+    assert len(ranges[Region.EUROPE]) == 0

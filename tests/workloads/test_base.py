@@ -1,0 +1,109 @@
+"""Tests for request generation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+from repro.topology.generators import line_topology
+from repro.workloads.base import (
+    RequestGenerator,
+    UniformWorkload,
+    attach_generators,
+)
+from tests.conftest import make_system
+
+
+@pytest.fixture
+def system():
+    sim = Simulator()
+    system = make_system(sim, line_topology(3), num_objects=10)
+    system.initialize_round_robin()
+    return system
+
+
+def test_constant_rate_generation(system):
+    workload = UniformWorkload(10)
+    rng = RngFactory(1).stream("g")
+    generator = RequestGenerator(
+        system.sim, system, workload, gateway=0, rate=10.0, rng=rng
+    )
+    system.sim.run(until=10.0)
+    # ~100 requests in 10 s at 10 req/s (phase offset costs at most one).
+    assert 98 <= generator.generated <= 101
+
+
+def test_poisson_rate_approximates_target(system):
+    workload = UniformWorkload(10)
+    generator = RequestGenerator(
+        system.sim,
+        system,
+        workload,
+        gateway=0,
+        rate=20.0,
+        rng=RngFactory(2).stream("g"),
+        poisson=True,
+    )
+    system.sim.run(until=50.0)
+    assert generator.generated == pytest.approx(1000, rel=0.15)
+
+
+def test_stop_halts_generation(system):
+    generator = RequestGenerator(
+        system.sim,
+        system,
+        UniformWorkload(10),
+        gateway=0,
+        rate=10.0,
+        rng=RngFactory(3).stream("g"),
+    )
+    system.sim.schedule_at(5.0, generator.stop)
+    system.sim.run(until=20.0)
+    assert 45 <= generator.generated <= 51
+    generator.stop()  # idempotent
+
+
+def test_attach_generators_covers_all_gateways(system):
+    generators = attach_generators(
+        system.sim, system, UniformWorkload(10), 5.0, RngFactory(4)
+    )
+    assert [g.gateway for g in generators] == [0, 1, 2]
+    system.sim.run(until=2.0)
+    assert all(g.generated > 0 for g in generators)
+
+
+def test_generators_are_phase_offset(system):
+    generators = attach_generators(
+        system.sim, system, UniformWorkload(10), 1.0, RngFactory(5)
+    )
+    first_times = [g._event.time for g in generators]
+    assert len(set(first_times)) == len(first_times)
+
+
+def test_invalid_rate(system):
+    with pytest.raises(WorkloadError):
+        RequestGenerator(
+            system.sim,
+            system,
+            UniformWorkload(10),
+            gateway=0,
+            rate=0.0,
+            rng=RngFactory(1).stream("g"),
+        )
+
+
+def test_workload_namespace_must_fit_system(system):
+    with pytest.raises(WorkloadError):
+        RequestGenerator(
+            system.sim,
+            system,
+            UniformWorkload(11),
+            gateway=0,
+            rate=1.0,
+            rng=RngFactory(1).stream("g"),
+        )
+
+
+def test_workload_needs_objects():
+    with pytest.raises(WorkloadError):
+        UniformWorkload(0)

@@ -1,0 +1,116 @@
+"""Distribution tests for the four paper workloads."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.rng import RngFactory
+from repro.topology.uunet import uunet_backbone
+from repro.topology.regions import REGIONS
+from repro.workloads.hot_pages import HotPagesWorkload
+from repro.workloads.hot_sites import HotSitesWorkload
+from repro.workloads.regional import RegionalWorkload
+from repro.workloads.zipf import ZipfWorkload
+
+
+def sample_many(workload, gateway, n, seed=1):
+    rng = RngFactory(seed).stream("w")
+    return Counter(workload.sample(gateway, rng) for _ in range(n))
+
+
+def test_zipf_head_dominates():
+    workload = ZipfWorkload(1000)
+    counts = sample_many(workload, 0, 30_000)
+    top10 = sum(counts[obj] for obj in range(10)) / 30_000
+    assert top10 > 0.25
+    assert counts.most_common(1)[0][0] < 10
+
+
+def test_zipf_exact_variant():
+    workload = ZipfWorkload(100, exact=True)
+    counts = sample_many(workload, 0, 30_000)
+    harmonic = sum(1 / k for k in range(1, 101))
+    assert counts[0] / 30_000 == pytest.approx(1 / harmonic, rel=0.1)
+
+
+def test_zipf_rejects_bad_alpha():
+    with pytest.raises(WorkloadError):
+        ZipfWorkload(10, alpha=0.0)
+
+
+def test_hot_sites_split_and_mass():
+    rng = RngFactory(3).stream("split")
+    workload = HotSitesWorkload(1060, 53, split_rng=rng)
+    assert len(workload.hot_sites) == round(53 * 0.1)
+    counts = sample_many(workload, 0, 20_000)
+    hot_mass = sum(
+        count
+        for obj, count in counts.items()
+        if obj % 53 in workload.hot_sites
+    ) / 20_000
+    assert hot_mass == pytest.approx(0.9, abs=0.02)
+
+
+def test_hot_sites_needs_multiple_nodes():
+    with pytest.raises(WorkloadError):
+        HotSitesWorkload(100, 1, split_rng=RngFactory(1).stream("s"))
+
+
+def test_hot_pages_mass_and_spread():
+    rng = RngFactory(4).stream("split")
+    workload = HotPagesWorkload(1000, split_rng=rng)
+    assert len(workload.hot_pages) == 100
+    counts = sample_many(workload, 0, 20_000)
+    hot_mass = sum(
+        count for obj, count in counts.items() if obj in workload.hot_pages
+    ) / 20_000
+    assert hot_mass == pytest.approx(0.9, abs=0.02)
+    # Hot pages are spread over sites under the round-robin assignment:
+    # with 53 sites, no site should hold more than a handful.
+    per_site = Counter(obj % 53 for obj in workload.hot_pages)
+    assert max(per_site.values()) <= 8
+
+
+def test_hot_pages_validation():
+    rng = RngFactory(1).stream("s")
+    with pytest.raises(WorkloadError):
+        HotPagesWorkload(10, hot_fraction=0.0, split_rng=rng)
+    with pytest.raises(WorkloadError):
+        HotPagesWorkload(10, hot_request_prob=1.0, split_rng=rng)
+
+
+def test_regional_prefers_own_slice():
+    topology = uunet_backbone()
+    workload = RegionalWorkload(10_000, topology)
+    for region_index, region in enumerate(REGIONS):
+        gateway = topology.nodes_in_region(region)[0]
+        counts = sample_many(workload, gateway, 5_000, seed=region_index)
+        preferred = workload.preferred_ranges[region]
+        mass = sum(
+            count for obj, count in counts.items() if obj in preferred
+        ) / 5_000
+        # 90% preferred + ~0.4% of the uniform 10% falls in the slice too.
+        assert mass == pytest.approx(0.9, abs=0.02)
+
+
+def test_regional_slices_are_disjoint_1pct():
+    topology = uunet_backbone()
+    workload = RegionalWorkload(10_000, topology)
+    ranges = list(workload.preferred_ranges.values())
+    assert all(len(r) == 100 for r in ranges)
+    all_ids = [obj for r in ranges for obj in r]
+    assert len(set(all_ids)) == len(all_ids)
+
+
+def test_regional_requires_regions():
+    from repro.topology.generators import line_topology
+
+    with pytest.raises(WorkloadError):
+        RegionalWorkload(1000, line_topology(5))
+
+
+def test_regional_rejects_oversized_fraction():
+    topology = uunet_backbone()
+    with pytest.raises(WorkloadError):
+        RegionalWorkload(1000, topology, preferred_fraction=0.5)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.core.config import ProtocolConfig
 from repro.network.transport import Network
 from repro.core.protocol import HostingSystem
+from repro.obs.tracer import DecisionTracer
 from repro.routing.routes_db import RoutingDatabase
 from repro.sim.engine import Simulator
 from repro.topology.uunet import uunet_backbone
@@ -44,6 +45,30 @@ def test_request_pipeline_throughput(benchmark):
     system = HostingSystem(
         sim, network, ProtocolConfig(), num_objects=100, enable_placement=False
     )
+    system.initialize_round_robin()
+    state = {"i": 0}
+
+    def one_request():
+        state["i"] += 1
+        system.submit_request(state["i"] % 53, state["i"] % 100)
+        sim.run()
+
+    benchmark(one_request)
+
+
+def test_request_pipeline_throughput_traced(benchmark):
+    """The same request flow with the decision tracer attached.
+
+    Quantifies the tracing overhead on the hottest instrumented path
+    (one ChooseReplica record per request) against the benchmark above.
+    """
+    sim = Simulator()
+    routes = RoutingDatabase(uunet_backbone())
+    network = Network(sim, routes, track_links=False)
+    system = HostingSystem(
+        sim, network, ProtocolConfig(), num_objects=100, enable_placement=False
+    )
+    system.attach_tracer(DecisionTracer())
     system.initialize_round_robin()
     state = {"i": 0}
 

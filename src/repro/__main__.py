@@ -5,14 +5,25 @@ metrics the benchmark harness reports, for ad-hoc exploration:
 
     python -m repro --workload regional --scale 0.15 --duration 1800
     python -m repro --workload zipf --high-load --distribution closest
+
+The ``trace`` subcommand runs a scenario with the decision tracer
+attached and emits the structured protocol trace as JSONL (stdout by
+default; the run summary goes to stderr):
+
+    python -m repro trace --preset zipf > trace.jsonl
+    python -m repro trace --preset regional --kind placement --out p.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.metrics.report import format_table, series_summary
+from repro.obs.export import dump_jsonl, write_jsonl
+from repro.obs.records import RECORD_KINDS
+from repro.obs.tracer import DEFAULT_CAPACITY
 from repro.scenarios.presets import WORKLOAD_NAMES, paper_scenario
 from repro.scenarios.runner import run_scenario
 
@@ -65,7 +76,91 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description=(
+            "Run one scenario with the protocol decision tracer attached "
+            "and emit the trace as JSONL."
+        ),
+    )
+    parser.add_argument(
+        "--preset",
+        choices=[*WORKLOAD_NAMES, "uniform"],
+        default="zipf",
+        help="workload preset to trace (default: zipf)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.15,
+        help="load-axis scale relative to Table 1 (default: 0.15)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=600.0,
+        help="simulated seconds (default: 600)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="scenario seed (default: 1)"
+    )
+    parser.add_argument(
+        "--high-load",
+        action="store_true",
+        help="use the Figure 9 watermarks (50/40 instead of 90/80)",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=DEFAULT_CAPACITY,
+        help=f"per-kind trace ring capacity (default: {DEFAULT_CAPACITY})",
+    )
+    parser.add_argument(
+        "--kind",
+        choices=list(RECORD_KINDS),
+        action="append",
+        default=None,
+        help="emit only this record kind (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--out",
+        default="-",
+        help="output path for the JSONL trace ('-' = stdout, the default)",
+    )
+    return parser
+
+
+def trace_main(argv: list[str]) -> int:
+    args = build_trace_parser().parse_args(argv)
+    config = paper_scenario(
+        args.preset,
+        high_load=args.high_load,
+        scale=args.scale,
+        duration=args.duration,
+        seed=args.seed,
+    ).replace(traced=True, trace_capacity=args.capacity)
+    print(f"tracing {config.name!r} ...", file=sys.stderr)
+    result = run_scenario(config)
+    trace = result.trace
+    if args.kind:
+        records = [r for r in trace.records() if r.kind in set(args.kind)]
+    else:
+        records = trace.records()
+    if args.out == "-":
+        dump_jsonl(records, sys.stdout)
+    else:
+        count = write_jsonl(records, args.out)
+        print(f"wrote {count} records to {args.out}", file=sys.stderr)
+    print(json.dumps(trace.summary(), indent=2), file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = paper_scenario(
         args.workload,

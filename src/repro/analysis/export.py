@@ -18,8 +18,10 @@ from typing import TYPE_CHECKING
 
 from repro.analysis.figures import figure6_series, figure7_series, figure8_series
 from repro.metrics.collectors import TimeSeries
+from repro.obs.export import write_jsonl
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.tracer import DecisionTracer
     from repro.scenarios.runner import ScenarioResult
 
 
@@ -74,4 +76,14 @@ def export_result_csv(result: "ScenarioResult", directory: str | Path) -> list[P
         )
         writer.writerow(["max_load_settled", result.max_load_settled()])
     written.append(summary_path)
+
+    if result.trace is not None:
+        written.append(export_trace_jsonl(result.trace, directory / "trace.jsonl"))
     return written
+
+
+def export_trace_jsonl(trace: "DecisionTracer", path: str | Path) -> Path:
+    """Write a tracer's retained records (all kinds, ingest order) as JSONL."""
+    path = Path(path)
+    write_jsonl(trace.records(), path)
+    return path

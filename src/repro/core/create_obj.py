@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING
 
 from repro.load.bounds import replication_target_max_increase
 from repro.network.message import MessageClass
+from repro.obs.records import CreateObjRecord
 from repro.types import (
     NodeId,
     ObjectId,
@@ -66,8 +67,28 @@ def handle_create_obj(
     network.account(candidate, source, control, MessageClass.CONTROL)
 
     host = system.hosts[candidate]
+    tracer = system.tracer
+
+    def verdict(accepted: bool, reason: str) -> bool:
+        if tracer is not None:
+            tracer.record(
+                CreateObjRecord(
+                    source=source,
+                    candidate=candidate,
+                    obj=obj,
+                    action=action.value,
+                    accepted=accepted,
+                    reason=reason,
+                    unit_load=unit_load,
+                    upper_load=host.upper_load,
+                    low_watermark=host.low_watermark,
+                    high_watermark=host.high_watermark,
+                )
+            )
+        return accepted
+
     if not host.available:
-        return False
+        return verdict(False, "host-down")
     policy = system.consistency_policy
     if (
         policy is not None
@@ -80,19 +101,19 @@ def handle_create_obj(
         # Section 5: category-3 objects keep a bounded replica set; the
         # protocol is unchanged except that excess replications are
         # refused (migrations never change the replica count).
-        return False
+        return verdict(False, "replica-limit")
     if host.upper_load > host.low_watermark:
-        return False
+        return verdict(False, "low-watermark")
     if not host.has_storage_room(obj):
         # Storage is the second component of the Section 2.1 vector load
         # metric: a host whose store is full refuses new copies outright.
-        return False
+        return verdict(False, "storage-full")
     max_increase = replication_target_max_increase(unit_load, 1)  # = 4 * unit_load
     if (
         action is PlacementAction.MIGRATE
         and host.upper_load + max_increase > host.high_watermark
     ):
-        return False
+        return verdict(False, "migration-headroom")
 
     if obj in host.store:
         affinity = host.store.add(obj)
@@ -112,4 +133,4 @@ def handle_create_obj(
     system.record_placement(
         action, reason, obj, source=source, target=candidate, copied_bytes=copied_bytes
     )
-    return True
+    return verdict(True, "accepted")

@@ -28,6 +28,7 @@ from repro.load.bounds import (
     replication_source_max_decrease,
     replication_target_max_increase,
 )
+from repro.obs.records import OffloadRecord
 from repro.types import NodeId, ObjectId, PlacementAction, PlacementReason, Time
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -58,8 +59,26 @@ def run_offload(
     elapsed: float,
 ) -> int:
     """Shed objects from ``host`` to one recipient; return objects moved."""
+
+    def trace(recipient: NodeId | None, moved: int, reason: str) -> None:
+        if system.tracer is not None:
+            system.tracer.record(
+                OffloadRecord(
+                    node=host.node,
+                    offloading=host.offloading,
+                    relieved=host.lower_load <= host.low_watermark,
+                    ran=True,
+                    recipient=recipient,
+                    moved=moved,
+                    reason=reason,
+                    lower_load=host.lower_load,
+                    low_watermark=host.low_watermark,
+                )
+            )
+
     recipient = system.find_offload_recipient(host.node)
     if recipient is None:
+        trace(None, 0, "no-recipient")
         return 0
     config = system.config
     recipient_host = system.hosts[recipient]
@@ -72,10 +91,13 @@ def run_offload(
         key=lambda obj: (-_foreign_fraction(host, obj), obj),
     )
     moved = 0
+    stop_reason = "exhausted"
     for obj in ordered:
         if host.lower_load <= host.low_watermark:
+            stop_reason = "source-relieved"
             break
         if recipient_load >= recipient_host.low_watermark:
+            stop_reason = "recipient-budget"
             break
         if obj not in host.store:
             continue
@@ -95,6 +117,7 @@ def run_offload(
                 PlacementReason.LOAD,
             )
             if not accepted:
+                stop_reason = "refused"
                 break
             engine.reduce_affinity(
                 host.node,
@@ -113,10 +136,12 @@ def run_offload(
                 PlacementReason.LOAD,
             )
             if not accepted:
+                stop_reason = "refused"
                 break
             host.estimator.note_shed(
                 replication_source_max_decrease(obj_load), now
             )
         recipient_load += replication_target_max_increase(unit_load, 1)
         moved += 1
+    trace(recipient, moved, stop_reason)
     return moved

@@ -36,6 +36,7 @@ from repro.load.bounds import (
     replication_source_max_decrease,
 )
 from repro.network.message import MessageClass
+from repro.obs.records import OffloadRecord, PlacementRecord
 from repro.types import NodeId, ObjectId, PlacementAction, PlacementReason, Time
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -143,6 +144,18 @@ class PlacementEngine:
             unit_rate = total / affinity / elapsed
             if unit_rate < config.deletion_threshold:
                 outcome = self.reduce_affinity(node, obj)
+                if system.tracer is not None:
+                    system.tracer.record(
+                        PlacementRecord(
+                            node=node,
+                            obj=obj,
+                            action="drop",
+                            outcome=outcome.value,
+                            affinity=affinity,
+                            unit_rate=unit_rate,
+                            threshold=config.deletion_threshold,
+                        )
+                    )
                 if outcome is not AffinityOutcome.REFUSED:
                     moved = True
                 continue
@@ -157,6 +170,23 @@ class PlacementEngine:
         # relief valve (see DESIGN.md fidelity notes).
         if host.offloading and not relieved:
             system.run_offload(host, now, elapsed)
+        elif system.tracer is not None:
+            # The gate evaluation itself is a protocol decision: record
+            # why Offload did *not* run this round (run_offload records
+            # the rounds that do run).
+            system.tracer.record(
+                OffloadRecord(
+                    node=node,
+                    offloading=host.offloading,
+                    relieved=relieved,
+                    ran=False,
+                    recipient=None,
+                    moved=0,
+                    reason="relieved" if host.offloading else "not-offloading",
+                    lower_load=host.lower_load,
+                    low_watermark=host.low_watermark,
+                )
+            )
         host.reset_access_counts(now)
         return moved
 
@@ -172,16 +202,39 @@ class PlacementEngine:
         """Attempt geo-migration, then geo-replication.  True if moved."""
         system = self._system
         config = system.config
+        tracer = system.tracer
         node = host.node
         obj_load = host.meter.object_load(obj)
         unit_load = obj_load / affinity
 
-        migration_candidates = [
-            p
-            for p, count in counts.items()
-            if p != node and count / total > config.migr_ratio
-        ]
-        for candidate in system.routes.farthest_first(node, migration_candidates):
+        def trace(action: str, outcome: str, threshold: float,
+                  candidates: list[NodeId], target: NodeId | None) -> None:
+            if tracer is not None:
+                tracer.record(
+                    PlacementRecord(
+                        node=node,
+                        obj=obj,
+                        action=action,
+                        outcome=outcome,
+                        affinity=affinity,
+                        unit_rate=unit_rate,
+                        threshold=threshold,
+                        candidates=tuple(candidates),
+                        target=target,
+                    )
+                )
+
+        migration_candidates = list(
+            system.routes.farthest_first(
+                node,
+                [
+                    p
+                    for p, count in counts.items()
+                    if p != node and count / total > config.migr_ratio
+                ],
+            )
+        )
+        for candidate in migration_candidates:
             if handle_create_obj(
                 system,
                 node,
@@ -191,6 +244,10 @@ class PlacementEngine:
                 unit_load,
                 PlacementReason.GEO,
             ):
+                trace(
+                    "migrate", "accepted", config.migr_ratio,
+                    migration_candidates, candidate,
+                )
                 # The source-side affinity reduction is part of the
                 # migration itself, not a separate drop event.
                 self.reduce_affinity(
@@ -200,16 +257,22 @@ class PlacementEngine:
                     record_drop=False,
                 )
                 return True
+        if migration_candidates:
+            # Every candidate path was offered and refused.
+            trace("migrate", "refused", config.migr_ratio, migration_candidates, None)
 
         if unit_rate > config.replication_threshold:
-            replication_candidates = [
-                p
-                for p, count in counts.items()
-                if p != node and count / total > config.repl_ratio
-            ]
-            for candidate in system.routes.farthest_first(
-                node, replication_candidates
-            ):
+            replication_candidates = list(
+                system.routes.farthest_first(
+                    node,
+                    [
+                        p
+                        for p, count in counts.items()
+                        if p != node and count / total > config.repl_ratio
+                    ],
+                )
+            )
+            for candidate in replication_candidates:
                 if handle_create_obj(
                     system,
                     node,
@@ -219,8 +282,19 @@ class PlacementEngine:
                     unit_load,
                     PlacementReason.GEO,
                 ):
+                    trace(
+                        "replicate", "accepted", config.replication_threshold,
+                        replication_candidates, candidate,
+                    )
                     host.estimator.note_shed(
                         replication_source_max_decrease(obj_load), system.sim.now
                     )
                     return True
+            trace(
+                "replicate",
+                "refused" if replication_candidates else "no-candidate",
+                config.replication_threshold,
+                replication_candidates,
+                None,
+            )
         return False

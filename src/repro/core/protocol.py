@@ -131,6 +131,9 @@ class HostingSystem:
         #: Optional :class:`~repro.consistency.categories.ConsistencyPolicy`
         #: enforcing Section 5 replica limits in the CreateObj path.
         self.consistency_policy = consistency_policy
+        #: Optional :class:`~repro.obs.tracer.ProtocolTracer`; attach via
+        #: :meth:`attach_tracer` so every instrumentation site is wired.
+        self.tracer = None
 
         topology = self.routes.topology
         weights = host_weights or {}
@@ -186,6 +189,25 @@ class HostingSystem:
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
+
+    def attach_tracer(self, tracer: object) -> None:
+        """Wire a :class:`~repro.obs.tracer.ProtocolTracer` into every
+        instrumentation site: the redirectors (ChooseReplica), the
+        placement/CreateObj/Offload paths (via ``self.tracer``), the
+        network transport (message records), and the simulator run hooks
+        (timing).  If the tracer exposes ``bind_clock`` it is bound to
+        this system's simulated clock so records carry simulated time.
+        """
+        if self.tracer is not None:
+            raise ProtocolError("a tracer is already attached")
+        bind = getattr(tracer, "bind_clock", None)
+        if bind is not None:
+            bind(lambda: self.sim.now)
+        self.tracer = tracer
+        self.network.tracer = tracer
+        for service in self.redirectors.services:
+            service.tracer = tracer
+        self.sim.add_tracer(tracer)
 
     def place_initial(self, obj: ObjectId, node: NodeId) -> None:
         """Install the original copy of ``obj`` on ``node``."""

@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import ProtocolError
+from repro.obs.records import ChooseReplicaRecord
 from repro.routing.routes_db import RoutingDatabase
 from repro.types import NodeId, ObjectId, ReplicaInfo
 
@@ -70,6 +71,10 @@ class RedirectorService:
         #: replicas stay registered but are never chosen.
         self._down_hosts: set[NodeId] = set()
         self._observers: list[ReplicaSetObserver] = []
+        #: Optional :class:`~repro.obs.tracer.ProtocolTracer` receiving a
+        #: ChooseReplicaRecord per Figure 2 run; ``None`` disables (one
+        #: pointer check per request).
+        self.tracer = None
         #: Counters for analysis: how often the closest vs the
         #: least-requested replica won the Figure 2 comparison.
         self.chose_closest = 0
@@ -102,11 +107,26 @@ class RedirectorService:
         Registrations are preserved across failures — the bytes are still
         on the failed host's disk — but an unavailable replica is never
         chosen and does not protect its object from last-replica drops.
+
+        An availability flip changes the *effective* replica set of every
+        object with a copy on ``host``, so the paper's reset rule applies:
+        request counts for those objects reset to 1.  Without this a
+        recovering host returns carrying a stale ``rcnt`` and is
+        mis-weighted against the survivors that serviced its share of the
+        traffic while it was down.  Repeating the current availability is
+        a no-op (no spurious resets).
         """
         if available:
+            if host not in self._down_hosts:
+                return
             self._down_hosts.discard(host)
         else:
+            if host in self._down_hosts:
+                return
             self._down_hosts.add(host)
+        for replicas in self._replicas.values():
+            if host in replicas:
+                self._reset_counts(replicas)
 
     def host_available(self, host: NodeId) -> bool:
         return host not in self._down_hosts
@@ -145,7 +165,13 @@ class RedirectorService:
         self._notify(obj, host, 1, True, False)
 
     def replica_created(self, obj: ObjectId, host: NodeId, affinity: int) -> None:
-        """A host reports a new copy or an affinity increase (after the fact)."""
+        """A host reports a new copy or an affinity increase (after the fact).
+
+        A re-report with an unchanged affinity leaves the replica set as
+        it was, so it must not trigger the reset rule (a spurious reset
+        would discard the distribution state the Figure 2 algorithm has
+        accumulated).
+        """
         replicas = self._entry(obj)
         created = host not in replicas
         if created:
@@ -155,6 +181,10 @@ class RedirectorService:
                     f"got {affinity}"
                 )
             replicas[host] = ReplicaInfo(host=host, affinity=1)
+        elif replicas[host].affinity == affinity:
+            # Nothing about the replica set changed: no reset.
+            self._notify(obj, host, affinity, False, False)
+            return
         else:
             replicas[host].affinity = affinity
         self._reset_counts(replicas)
@@ -214,11 +244,22 @@ class RedirectorService:
         host (the request cannot be serviced until a host recovers).
         """
         replicas = self._entry(obj)
+        tracer = self.tracer
         if len(replicas) == 1 and not self._down_hosts:
             # Fast path: a sole replica always wins; still counted.
             (info,) = replicas.values()
             info.request_count += 1
             self.chose_closest += 1
+            if tracer is not None:
+                tracer.record(
+                    ChooseReplicaRecord(
+                        obj=obj,
+                        gateway=gateway,
+                        chosen=info.host,
+                        reason="sole",
+                        constant=self._constant,
+                    )
+                )
             return info.host
         row = self._routes.distance_row(gateway)
         down = self._down_hosts
@@ -241,15 +282,41 @@ class RedirectorService:
             ):
                 least, least_ratio = info, ratio
         if closest is None or least is None:
+            if tracer is not None:
+                tracer.record(
+                    ChooseReplicaRecord(
+                        obj=obj,
+                        gateway=gateway,
+                        chosen=None,
+                        reason="unavailable",
+                        constant=self._constant,
+                    )
+                )
             return None
         ratio1 = closest.request_count / closest.affinity
         if ratio1 / self._constant > least_ratio:
             chosen = least
+            reason = "least-requested"
             self.chose_least_requested += 1
         else:
             chosen = closest
+            reason = "closest"
             self.chose_closest += 1
         chosen.request_count += 1
+        if tracer is not None:
+            tracer.record(
+                ChooseReplicaRecord(
+                    obj=obj,
+                    gateway=gateway,
+                    chosen=chosen.host,
+                    reason=reason,
+                    closest=closest.host,
+                    closest_ratio=ratio1,
+                    least=least.host,
+                    least_ratio=least_ratio,
+                    constant=self._constant,
+                )
+            )
         return chosen.host
 
 

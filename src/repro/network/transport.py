@@ -18,7 +18,7 @@ every send.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Protocol
+from typing import Any, Callable
 
 from repro.errors import SimulationError
 from repro.network.link import Link
@@ -73,6 +73,10 @@ class Network:
         self.bandwidth = bandwidth
         self.store_and_forward = store_and_forward
         self._observers: list[TrafficObserver] = []
+        #: Optional :class:`~repro.obs.tracer.ProtocolTracer`; when set,
+        #: every send is offered via ``record_message`` (the tracer
+        #: filters by message class before building a record).
+        self.tracer: Any | None = None
         self._links: dict[tuple[NodeId, NodeId], Link] | None = None
         if track_links:
             self._links = {
@@ -170,6 +174,8 @@ class Network:
             for a, b in zip(route, route[1:]):
                 key = (a, b) if a < b else (b, a)
                 self._links[key].record(size, message_class)
+        if self.tracer is not None:
+            self.tracer.record_message(source, target, hops, size, message_class)
         if self._observers:
             now = self._sim.now
             for observer in self._observers:

@@ -1,0 +1,266 @@
+"""The pluggable protocol tracer and its default implementation.
+
+Instrumentation sites across the protocol modules hold an optional
+``tracer`` reference and call :meth:`ProtocolTracer.record` with a
+:mod:`repro.obs.records` dataclass when one is attached — a single
+``is not None`` check when tracing is off, so the hot paths stay at their
+untraced cost.
+
+:class:`DecisionTracer` is the batteries-included implementation: it
+stamps each record with the simulated time and a global sequence number,
+keeps a *per-kind* bounded ring buffer (so a flood of per-request
+choose-replica records can never evict the much rarer placement or
+offload decisions), maintains unified per-subsystem counters, and
+implements the :class:`~repro.sim.engine.SimTracer` run hooks to stamp
+wall-clock timing onto the trace.  Export to JSONL goes through
+:mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+from repro.network.message import MessageClass
+from repro.obs.records import MessageRecord, SimRunRecord
+from repro.types import NodeId, Time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+#: Default per-kind ring capacity.
+DEFAULT_CAPACITY = 65_536
+
+#: Message classes the default tracer records: the protocol's control
+#: plane (decision datagrams and object relocations), not the per-request
+#: payload flood.
+DEFAULT_MESSAGE_CLASSES = (MessageClass.CONTROL, MessageClass.RELOCATION)
+
+
+@runtime_checkable
+class ProtocolTracer(Protocol):
+    """What an instrumented component requires of a tracer.
+
+    ``record`` receives a :mod:`repro.obs.records` dataclass.
+    ``record_message`` is the high-volume transport hook — it receives
+    raw fields so the tracer can filter *before* paying for record
+    construction.
+    """
+
+    def record(self, record: Any) -> None: ...  # pragma: no cover
+
+    def record_message(
+        self,
+        source: NodeId,
+        target: NodeId,
+        hops: int,
+        size: int,
+        message_class: MessageClass,
+    ) -> None: ...  # pragma: no cover
+
+
+class NullTracer:
+    """A tracer that drops everything (useful as an explicit off switch)."""
+
+    def record(self, record: Any) -> None:
+        pass
+
+    def record_message(self, *args: Any) -> None:
+        pass
+
+
+class Counters:
+    """Unified per-subsystem counters: ``{subsystem: {key: count}}``."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: dict[str, dict[str, int]] = {}
+
+    def bump(self, subsystem: str, key: str) -> None:
+        counts = self._counts.get(subsystem)
+        if counts is None:
+            counts = {}
+            self._counts[subsystem] = counts
+        counts[key] = counts.get(key, 0) + 1
+
+    def get(self, subsystem: str, key: str) -> int:
+        return self._counts.get(subsystem, {}).get(key, 0)
+
+    def subsystem(self, subsystem: str) -> dict[str, int]:
+        return dict(self._counts.get(subsystem, {}))
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        return {name: dict(counts) for name, counts in self._counts.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counters({self._counts!r})"
+
+
+def _counter_key(record: Any) -> str:
+    """The per-subsystem counter key for a record (reason/outcome-ish)."""
+    outcome = getattr(record, "outcome", None)
+    if outcome is not None:
+        action = getattr(record, "action", None)
+        return f"{action}:{outcome}" if action is not None else outcome
+    reason = getattr(record, "reason", None)
+    if reason is not None:
+        return reason
+    message_class = getattr(record, "message_class", None)
+    if message_class is not None:
+        return message_class
+    return "total"
+
+
+class DecisionTracer:
+    """Bounded, structured capture of every protocol decision.
+
+    Parameters
+    ----------
+    capacity:
+        Ring capacity *per record kind*.  When a kind's ring is full the
+        oldest record of that kind is evicted (the eviction count is
+        retained, so truncation is never silent).
+    message_classes:
+        Which transport message classes to record; defaults to the
+        control plane (CONTROL + RELOCATION).  Pass ``None`` for all
+        classes, or an empty tuple for none.
+    clock:
+        Callable returning the current simulated time; records are
+        stamped on ingest.  :meth:`bind_clock` rebinds later (the hosting
+        system binds its simulator clock when the tracer is attached).
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        *,
+        message_classes: Iterable[MessageClass] | None = DEFAULT_MESSAGE_CLASSES,
+        clock: Callable[[], Time] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"tracer capacity must be at least 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._rings: dict[str, deque[Any]] = {}
+        self._ingested: dict[str, int] = {}
+        self._seq = 0
+        self._clock: Callable[[], Time] = clock if clock is not None else lambda: 0.0
+        self._message_classes: frozenset[MessageClass] | None = (
+            None if message_classes is None else frozenset(message_classes)
+        )
+        self.counters = Counters()
+        self._run_wall_start: float | None = None
+        self._run_until: Time | None = None
+
+    # ------------------------------------------------------------------
+    # Ingest (the ProtocolTracer protocol)
+    # ------------------------------------------------------------------
+
+    def bind_clock(self, clock: Callable[[], Time]) -> None:
+        """Stamp subsequent records with ``clock()`` (simulated time)."""
+        self._clock = clock
+
+    def record(self, record: Any) -> None:
+        """Stamp and retain one decision record; update its counters."""
+        record.time = self._clock()
+        record.seq = self._seq
+        self._seq += 1
+        kind = record.kind
+        ring = self._rings.get(kind)
+        if ring is None:
+            ring = deque(maxlen=self.capacity)
+            self._rings[kind] = ring
+        ring.append(record)
+        self._ingested[kind] = self._ingested.get(kind, 0) + 1
+        self.counters.bump(kind, _counter_key(record))
+
+    def record_message(
+        self,
+        source: NodeId,
+        target: NodeId,
+        hops: int,
+        size: int,
+        message_class: MessageClass,
+    ) -> None:
+        """Transport hook: record the send if its class is traced."""
+        wanted = self._message_classes
+        if wanted is not None and message_class not in wanted:
+            return
+        self.record(
+            MessageRecord(
+                source=source,
+                target=target,
+                hops=hops,
+                size=size,
+                message_class=message_class.value,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Simulator timing hooks (the SimTracer protocol, minus on_event —
+    # the event hot loop stays untraced)
+    # ------------------------------------------------------------------
+
+    def on_run_start(self, sim: "Simulator", until: Time | None) -> None:
+        self._run_wall_start = _time.perf_counter()
+        self._run_until = until
+
+    def on_run_end(self, sim: "Simulator", fired: int) -> None:
+        wall = 0.0
+        if self._run_wall_start is not None:
+            wall = _time.perf_counter() - self._run_wall_start
+            self._run_wall_start = None
+        self.record(
+            SimRunRecord(until=self._run_until, events_fired=fired, wall_seconds=wall)
+        )
+
+    # ------------------------------------------------------------------
+    # Inspection and export
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Records currently retained, over all kinds."""
+        return sum(len(ring) for ring in self._rings.values())
+
+    @property
+    def recorded(self) -> int:
+        """Records ever ingested (retained + evicted)."""
+        return sum(self._ingested.values())
+
+    def dropped(self, kind: str | None = None) -> int:
+        """Records evicted by the ring bound (per kind, or total)."""
+        if kind is not None:
+            return self._ingested.get(kind, 0) - len(self._rings.get(kind, ()))
+        return self.recorded - len(self)
+
+    def kinds(self) -> list[str]:
+        """Record kinds seen so far."""
+        return sorted(self._rings)
+
+    def records(self, kind: str | None = None) -> list[Any]:
+        """Retained records, in ingest order (optionally one kind)."""
+        if kind is not None:
+            return list(self._rings.get(kind, ()))
+        merged = [record for ring in self._rings.values() for record in ring]
+        merged.sort(key=lambda record: record.seq)
+        return merged
+
+    def summary(self) -> dict[str, Any]:
+        """Compact run summary: volumes plus the per-subsystem counters."""
+        return {
+            "recorded": self.recorded,
+            "retained": len(self),
+            "dropped": self.dropped(),
+            "per_kind": {
+                kind: {
+                    "retained": len(self._rings[kind]),
+                    "dropped": self.dropped(kind),
+                }
+                for kind in self.kinds()
+            },
+            "counters": self.counters.as_dict(),
+        }

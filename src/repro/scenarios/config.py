@@ -51,6 +51,11 @@ class ScenarioConfig:
     #: Load-axis scale factor relative to the paper's Table 1 (set by
     #: :meth:`scaled`); used to report full-scale-equivalent overhead.
     load_scale: float = 1.0
+    #: Attach a :class:`~repro.obs.tracer.DecisionTracer` to the run and
+    #: surface it as :attr:`ScenarioResult.trace`.
+    traced: bool = False
+    #: Per-kind ring capacity of the auto-attached tracer.
+    trace_capacity: int = 65_536
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -67,6 +72,8 @@ class ScenarioConfig:
             )
         if self.bucket <= 0:
             raise ConfigurationError("bucket width must be positive")
+        if self.trace_capacity < 1:
+            raise ConfigurationError("trace capacity must be at least 1")
 
     def scaled(self, factor: float) -> "ScenarioConfig":
         """Scale the *load axis* of the run by ``factor``.

@@ -23,6 +23,7 @@ from repro.metrics.latency import LatencyCollector
 from repro.metrics.loadstats import LoadCollector
 from repro.metrics.replicas import ReplicaCollector
 from repro.network.transport import Network
+from repro.obs.tracer import DecisionTracer
 from repro.routing.routes_db import RoutingDatabase
 from repro.scenarios.config import ScenarioConfig
 from repro.sim.engine import Simulator
@@ -72,8 +73,14 @@ def build_system(
     *,
     sim: Simulator | None = None,
     topology: Topology | None = None,
+    tracer: DecisionTracer | None = None,
 ) -> tuple[Simulator, HostingSystem, Workload]:
-    """Assemble (but do not run) a scenario's full system."""
+    """Assemble (but do not run) a scenario's full system.
+
+    ``tracer`` overrides the tracer to attach; with ``config.traced``
+    set and no explicit tracer, a fresh :class:`DecisionTracer` of
+    ``config.trace_capacity`` is attached (reachable as ``system.tracer``).
+    """
     sim = sim or Simulator()
     topology = topology or uunet_backbone(config.topology_seed)
     routes = RoutingDatabase(topology)
@@ -94,6 +101,10 @@ def build_system(
         redirector_factory=_DISTRIBUTION_FACTORIES[config.distribution],
         enable_placement=config.dynamic,
     )
+    if tracer is None and config.traced:
+        tracer = DecisionTracer(capacity=config.trace_capacity)
+    if tracer is not None:
+        system.attach_tracer(tracer)
     system.initialize_round_robin()
     rng_factory = RngFactory(config.seed)
     workload = make_workload(config, topology, rng_factory)
@@ -110,6 +121,8 @@ class ScenarioResult:
     latency: LatencyCollector
     loads: LoadCollector
     replicas: ReplicaCollector
+    #: The attached :class:`DecisionTracer` (None when the run was untraced).
+    trace: DecisionTracer | None = None
 
     # -- Figure 6 -------------------------------------------------------
 
@@ -205,9 +218,10 @@ def run_scenario(
     config: ScenarioConfig,
     *,
     topology: Topology | None = None,
+    tracer: DecisionTracer | None = None,
 ) -> ScenarioResult:
     """Run a scenario start-to-finish and return its measurements."""
-    sim, system, workload = build_system(config, topology=topology)
+    sim, system, workload = build_system(config, topology=topology, tracer=tracer)
     bandwidth = BandwidthCollector(system.network, bucket=config.bucket)
     latency = LatencyCollector(
         system, bucket=config.bucket, keep_samples=config.keep_latency_samples
@@ -237,4 +251,5 @@ def run_scenario(
         latency=latency,
         loads=loads,
         replicas=replicas,
+        trace=system.tracer,
     )

@@ -6,15 +6,52 @@ drains the queue in time order until a horizon is reached or the queue
 empties.  The design is deliberately callback-based (no coroutines): the
 hosting-platform simulation schedules a handful of events per client
 request and millions of requests per run, so a low-overhead core matters.
+
+Tracing
+-------
+Two observation mechanisms exist, both free when unused:
+
+* :attr:`Simulator.trace` — a single ``trace(event)`` callback invoked
+  just before each event fires (the original debugging hook, kept for
+  convenience and backwards compatibility).
+* :meth:`Simulator.add_tracer` — pluggable tracer objects implementing
+  any subset of the :class:`SimTracer` protocol: per-event hooks plus
+  run-level timing hooks (``on_run_start`` / ``on_run_end``), which the
+  observability layer (:mod:`repro.obs`) uses to stamp wall-clock timing
+  onto decision traces.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Protocol, runtime_checkable
 
 from repro.errors import SimulationError
 from repro.sim.events import Event, EventQueue
 from repro.types import Time
+
+
+@runtime_checkable
+class SimTracer(Protocol):
+    """Pluggable simulator tracer.
+
+    All methods are optional — implement any subset; the simulator probes
+    with ``getattr`` when the tracer is registered, so absent hooks cost
+    nothing.
+
+    * ``on_event(event)`` — called just before each event fires.
+    * ``on_run_start(sim, until)`` — called when :meth:`Simulator.run`
+      begins draining the queue.
+    * ``on_run_end(sim, fired)`` — called when the run ends, with the
+      number of events fired while at least one tracer was attached.
+    """
+
+    def on_event(self, event: Event) -> None: ...  # pragma: no cover
+
+    def on_run_start(
+        self, sim: "Simulator", until: Time | None
+    ) -> None: ...  # pragma: no cover
+
+    def on_run_end(self, sim: "Simulator", fired: int) -> None: ...  # pragma: no cover
 
 
 class Simulator:
@@ -31,13 +68,14 @@ class Simulator:
     [1.0, 2.0]
     """
 
-    __slots__ = ("_queue", "_now", "_running", "_stopped", "trace")
+    __slots__ = ("_queue", "_now", "_running", "_stopped", "_tracers", "trace")
 
     def __init__(self) -> None:
         self._queue = EventQueue()
         self._now: Time = 0.0
         self._running = False
         self._stopped = False
+        self._tracers: list[Any] = []
         #: Optional hook called as ``trace(event)`` just before each event
         #: fires; used by tests and debugging tooling.  ``None`` disables.
         self.trace: Callable[[Event], None] | None = None
@@ -51,6 +89,19 @@ class Simulator:
     def pending(self) -> int:
         """The number of live (non-cancelled) scheduled events."""
         return len(self._queue)
+
+    def add_tracer(self, tracer: Any) -> None:
+        """Register a :class:`SimTracer`; tracers see events in order."""
+        if tracer in self._tracers:
+            raise SimulationError("tracer already registered")
+        self._tracers.append(tracer)
+
+    def remove_tracer(self, tracer: Any) -> None:
+        """Unregister a tracer previously passed to :meth:`add_tracer`."""
+        try:
+            self._tracers.remove(tracer)
+        except ValueError:
+            raise SimulationError("tracer is not registered") from None
 
     def schedule_at(
         self, time: Time, callback: Callable[..., Any], *args: Any
@@ -76,15 +127,29 @@ class Simulator:
         return self._queue.push(self._now + delay, callback, args)
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event.  Cancelling twice is an error."""
-        if event.cancelled:
-            raise SimulationError("event already cancelled")
+        """Cancel a pending event.
+
+        Delegates to :meth:`Event.cancel`, the single canonical
+        cancellation path: idempotent, keeps :attr:`pending` in sync, and
+        is a no-op once the event has fired.  ``sim.cancel(event)`` and
+        ``event.cancel()`` are therefore interchangeable.
+        """
         event.cancel()
-        self._queue.note_cancelled()
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
         self._stopped = True
+
+    def _event_hooks(self) -> list[Callable[[Event], None]] | None:
+        """Per-event hook list for this run, or ``None`` when untraced."""
+        hooks: list[Callable[[Event], None]] = []
+        for tracer in self._tracers:
+            on_event = getattr(tracer, "on_event", None)
+            if on_event is not None:
+                hooks.append(on_event)
+        if self.trace is not None:
+            hooks.append(self.trace)
+        return hooks or None
 
     def run(self, until: Time | None = None) -> Time:
         """Drain the event queue in time order.
@@ -94,7 +159,11 @@ class Simulator:
         until:
             Optional inclusive horizon.  Events scheduled at exactly
             ``until`` still fire; later events remain queued and the clock
-            is advanced to ``until``.
+            is advanced to ``until``.  The clock also advances to
+            ``until`` when the queue runs out of live events before the
+            horizon (whether it drained completely or only tombstoned
+            entries remained); after :meth:`stop` the clock stays at the
+            last fired event.
 
         Returns the simulated time at which the run ended.
         """
@@ -103,26 +172,39 @@ class Simulator:
         self._running = True
         self._stopped = False
         queue = self._queue
-        trace = self.trace
+        hooks = self._event_hooks()
+        for tracer in self._tracers:
+            on_run_start = getattr(tracer, "on_run_start", None)
+            if on_run_start is not None:
+                on_run_start(self, until)
+        fired = 0
+        pop_until = queue.pop_until
         try:
-            while queue:
-                next_time = queue.peek_time()
-                if next_time is None:
+            while True:
+                event = pop_until(until)
+                if event is None:
+                    # No live event at or before the horizon: the queue
+                    # drained, only tombstoned entries remain, or the
+                    # earliest live event lies beyond ``until``.
                     break
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                event = queue.pop()
                 self._now = event.time
-                if trace is not None:
-                    trace(event)
+                if hooks is not None:
+                    fired += 1
+                    for hook in hooks:
+                        hook(event)
                 event.callback(*event.args)
                 if self._stopped:
                     break
-            else:
-                # Queue drained completely.
-                if until is not None and until > self._now:
-                    self._now = until
+            # Unless stop() ended the run early, the full span up to the
+            # horizon was simulated — on *every* other exit (horizon
+            # reached, queue drained, or only tombstoned entries left)
+            # the clock advances to ``until``.
+            if until is not None and not self._stopped and until > self._now:
+                self._now = until
         finally:
             self._running = False
+            for tracer in self._tracers:
+                on_run_end = getattr(tracer, "on_run_end", None)
+                if on_run_end is not None:
+                    on_run_end(self, fired)
         return self._now

@@ -5,6 +5,11 @@ monotonically increasing tie-breaker so that events scheduled for the same
 instant fire in scheduling order.  This makes simulations fully
 deterministic, which the test-suite and the reproducibility guarantees of
 the benchmark harness rely on.
+
+Cancellation has exactly one canonical path: :meth:`Event.cancel`.  It is
+idempotent, keeps the owning queue's live-event count in sync, and is a
+no-op once the event has fired.  :meth:`repro.sim.engine.Simulator.cancel`
+is a thin delegating convenience, so calling either is equivalent.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ class Event:
     until it fires; cancellation is O(1) (the queue entry is tombstoned).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_queue")
 
     def __init__(
         self,
@@ -38,10 +43,26 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Back-reference to the owning queue while the event is pending;
+        #: cleared when the event is popped so that a late ``cancel()``
+        #: cannot corrupt the live count.
+        self._queue: "EventQueue | None" = None
 
     def cancel(self) -> None:
-        """Prevent this event from firing.  Idempotent."""
+        """Prevent this event from firing.
+
+        Idempotent, and a no-op after the event has fired.  This is the
+        single canonical cancellation path: the owning queue's live count
+        is decremented exactly once, on the first cancellation of a
+        still-pending event.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            self._queue = None
+            queue._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -58,7 +79,9 @@ class EventQueue:
     """A priority queue of :class:`Event` objects.
 
     A thin wrapper over :mod:`heapq` that owns the sequence counter and
-    skips tombstoned (cancelled) entries on pop.
+    skips tombstoned (cancelled) entries on pop.  ``len`` counts *live*
+    (pending, non-cancelled) events; :meth:`Event.cancel` keeps it in
+    sync automatically.
     """
 
     __slots__ = ("_heap", "_seq", "_live")
@@ -79,6 +102,7 @@ class EventQueue:
     ) -> Event:
         """Enqueue a callback at simulated ``time`` and return its handle."""
         event = Event(time, self._seq, callback, args)
+        event._queue = self
         self._seq += 1
         heapq.heappush(self._heap, event)
         self._live += 1
@@ -94,6 +118,7 @@ class EventQueue:
             event = heapq.heappop(heap)
             if event.cancelled:
                 continue
+            event._queue = None
             self._live -= 1
             return event
         raise SimulationError("pop from an empty event queue")
@@ -105,10 +130,30 @@ class EventQueue:
             heapq.heappop(heap)
         return heap[0].time if heap else None
 
-    def note_cancelled(self) -> None:
-        """Inform the queue that one live entry was tombstoned.
+    def pop_until(self, horizon: Time | None) -> Event | None:
+        """Pop the earliest live event at or before ``horizon``.
 
-        Called by the simulator when it cancels an event so that ``len``
-        stays an accurate count of live events.
+        The simulator's hot path: one call replaces a peek/pop pair.
+        Returns ``None`` when no live events remain (drained, or only
+        tombstones left) or the earliest live event lies beyond the
+        horizon; in either case nothing is removed from the live set.
         """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            head = heap[0]
+            if head.cancelled:
+                pop(heap)
+                continue
+            if horizon is not None and head.time > horizon:
+                return None
+            pop(heap)
+            head._queue = None
+            self._live -= 1
+            return head
+        return None
+
+    def _note_cancelled(self) -> None:
+        # Called (only) by Event.cancel() so ``len`` stays an accurate
+        # count of live events.
         self._live -= 1

@@ -67,5 +67,4 @@ class PeriodicProcess:
         """Stop the process; no further invocations occur.  Idempotent."""
         if self._active:
             self._active = False
-            if not self._event.cancelled:
-                self._sim.cancel(self._event)
+            self._event.cancel()

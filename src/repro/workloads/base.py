@@ -111,8 +111,7 @@ class RequestGenerator:
         """Stop generating requests.  Idempotent."""
         if self._active:
             self._active = False
-            if not self._event.cancelled:
-                self._sim.cancel(self._event)
+            self._event.cancel()
 
 
 def attach_generators(

@@ -41,6 +41,19 @@ def test_export_result_csv(tmp_path):
     )
     assert summary["workload"] == "uniform"
     assert int(summary["requests_completed"]) > 0
+    # Untraced runs export no trace file.
+    assert "trace.jsonl" not in names
+
+
+def test_export_result_csv_includes_trace(tmp_path):
+    config = paper_scenario("uniform", scale=0.05, duration=150.0).replace(
+        bucket=30.0, traced=True
+    )
+    result = run_scenario(config)
+    written = export_result_csv(result, tmp_path / "out")
+    names = {path.name for path in written}
+    assert "trace.jsonl" in names
+    assert (tmp_path / "out" / "trace.jsonl").stat().st_size > 0
 
 
 def test_summarize_basics():

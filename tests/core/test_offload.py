@@ -1,6 +1,5 @@
 """Unit tests for the Offload protocol (Figure 5)."""
 
-import pytest
 
 from repro.core.config import ProtocolConfig
 from repro.sim.engine import Simulator

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.config import ProtocolConfig
 from repro.errors import ProtocolError
 from repro.network.message import MessageClass
 from repro.sim.engine import Simulator

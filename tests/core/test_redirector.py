@@ -106,6 +106,101 @@ def test_new_replica_not_flooded_after_reset(redirector):
     assert counts[EUROPE_HOST] == max(counts.values())
 
 
+def test_availability_flip_resets_counts(redirector):
+    """A failure masks the host's replicas, changing the *effective*
+    replica set: the paper's reset rule must fire."""
+    drive(redirector, [AMERICA_GW, EUROPE_GW], 200)
+    redirector.set_host_available(EUROPE_HOST, False)
+    for info in redirector._replicas[0].values():
+        assert info.request_count == 1
+
+
+def test_recovery_resets_counts(redirector):
+    redirector.set_host_available(EUROPE_HOST, False)
+    drive(redirector, [AMERICA_GW, EUROPE_GW], 300)
+    assert redirector._replicas[0][AMERICA_HOST].request_count > 1
+    redirector.set_host_available(EUROPE_HOST, True)
+    for info in redirector._replicas[0].values():
+        assert info.request_count == 1
+
+
+def test_availability_flip_only_resets_objects_on_host(redirector):
+    """Objects with no replica on the flipped host keep their counts."""
+    redirector.register_initial(5, AMERICA_HOST)
+    drive(redirector, [AMERICA_GW], 50)
+    for _ in range(50):
+        redirector.choose_replica(AMERICA_GW, 5)
+    before = redirector._replicas[5][AMERICA_HOST].request_count
+    assert before > 1
+    redirector.set_host_available(EUROPE_HOST, False)
+    assert redirector._replicas[5][AMERICA_HOST].request_count == before
+    for info in redirector._replicas[0].values():
+        assert info.request_count == 1
+
+
+def test_set_host_available_is_idempotent(redirector):
+    """Repeating the current availability must not reset anything."""
+    drive(redirector, [AMERICA_GW], 100)
+    counts = {
+        host: info.request_count
+        for host, info in redirector._replicas[0].items()
+    }
+    redirector.set_host_available(AMERICA_HOST, True)  # already up
+    assert {
+        host: info.request_count
+        for host, info in redirector._replicas[0].items()
+    } == counts
+    redirector.set_host_available(EUROPE_HOST, False)
+    drive(redirector, [AMERICA_GW], 100)
+    counts = {
+        host: info.request_count
+        for host, info in redirector._replicas[0].items()
+    }
+    redirector.set_host_available(EUROPE_HOST, False)  # already down
+    assert {
+        host: info.request_count
+        for host, info in redirector._replicas[0].items()
+    } == counts
+
+
+def test_replica_created_unchanged_affinity_skips_reset(redirector):
+    """A re-report with the same affinity leaves the replica set (and
+    hence the request counts) untouched."""
+    redirector.replica_created(0, AMERICA_HOST, 2)
+    drive(redirector, [AMERICA_GW], 100)
+    counts = {
+        host: info.request_count
+        for host, info in redirector._replicas[0].items()
+    }
+    events = []
+    redirector.add_observer(lambda *args: events.append(args))
+    redirector.replica_created(0, AMERICA_HOST, 2)  # affinity unchanged
+    assert {
+        host: info.request_count
+        for host, info in redirector._replicas[0].items()
+    } == counts
+    # Observers are still informed of the (no-op) report.
+    assert events == [(0, AMERICA_HOST, 2, False, False)]
+
+
+def test_choose_replica_across_fail_recover_cycle(redirector):
+    """A recovering host must not be flooded: during the outage the
+    survivor's request count grows, and without the reset-on-recovery the
+    Figure 2 comparison would dump nearly every post-recovery request on
+    the stale-count host until it 'caught up'."""
+    drive(redirector, [AMERICA_GW, EUROPE_GW], 200)
+    redirector.set_host_available(EUROPE_HOST, False)
+    counts = drive(redirector, [AMERICA_GW, EUROPE_GW], 1000)
+    assert counts == {AMERICA_HOST: 1000}
+    redirector.set_host_available(EUROPE_HOST, True)
+    # Post-recovery the system is back at the paper's worked example:
+    # all-American demand splits 2/3 closest, 1/3 spill — not an
+    # every-request flood of the recovered European replica.
+    counts = drive(redirector, [AMERICA_GW], 3000)
+    assert counts[AMERICA_HOST] / 3000 == pytest.approx(2 / 3, abs=0.02)
+    assert counts[EUROPE_HOST] / 3000 == pytest.approx(1 / 3, abs=0.02)
+
+
 def test_sole_replica_always_chosen(redirector):
     service = redirector
     service.register_initial(5, 3)

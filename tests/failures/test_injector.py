@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.config import ProtocolConfig
 from repro.core.create_obj import handle_create_obj
 from repro.errors import ProtocolError
 from repro.failures.injector import FailureInjector

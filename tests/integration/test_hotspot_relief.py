@@ -6,7 +6,6 @@ distribution fails (Section 3) and the paper's combined algorithm is
 supposed to shed load through replication and offloading.
 """
 
-import pytest
 
 from repro.core.config import ProtocolConfig
 from repro.sim.engine import Simulator

@@ -1,6 +1,5 @@
 """Unit tests for the per-host load estimator (Section 2.1 semantics)."""
 
-import pytest
 
 from repro.load.estimates import LoadEstimator
 

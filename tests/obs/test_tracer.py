@@ -1,0 +1,176 @@
+"""Unit tests for the decision tracer: rings, counters, stamping."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.message import MessageClass
+from repro.obs.records import (
+    ChooseReplicaRecord,
+    CreateObjRecord,
+    PlacementRecord,
+    SimRunRecord,
+)
+from repro.obs.tracer import Counters, DecisionTracer, NullTracer
+from repro.sim.engine import Simulator
+
+
+def choose(obj=0):
+    return ChooseReplicaRecord(obj=obj, gateway=1, chosen=2, reason="sole")
+
+
+def placement(obj=0):
+    return PlacementRecord(
+        node=0,
+        obj=obj,
+        action="drop",
+        outcome="dropped",
+        affinity=1,
+        unit_rate=0.01,
+        threshold=0.03,
+    )
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        DecisionTracer(capacity=0)
+
+
+def test_records_are_stamped_with_clock_and_sequence():
+    now = [0.0]
+    tracer = DecisionTracer(clock=lambda: now[0])
+    tracer.record(choose())
+    now[0] = 7.5
+    tracer.record(choose())
+    first, second = tracer.records("choose-replica")
+    assert (first.time, first.seq) == (0.0, 0)
+    assert (second.time, second.seq) == (7.5, 1)
+
+
+def test_bind_clock_rebinds():
+    tracer = DecisionTracer()
+    tracer.record(choose())
+    tracer.bind_clock(lambda: 42.0)
+    tracer.record(choose())
+    times = [r.time for r in tracer.records("choose-replica")]
+    assert times == [0.0, 42.0]
+
+
+def test_ring_evicts_oldest_and_counts_drops():
+    tracer = DecisionTracer(capacity=2)
+    for obj in range(5):
+        tracer.record(choose(obj))
+    assert len(tracer) == 2
+    assert tracer.recorded == 5
+    assert tracer.dropped("choose-replica") == 3
+    assert [r.obj for r in tracer.records("choose-replica")] == [3, 4]
+
+
+def test_rings_are_per_kind():
+    """A choose-replica flood cannot evict rarer placement records."""
+    tracer = DecisionTracer(capacity=3)
+    tracer.record(placement())
+    for obj in range(10):
+        tracer.record(choose(obj))
+    assert len(tracer.records("placement")) == 1
+    assert tracer.dropped("placement") == 0
+    assert tracer.dropped("choose-replica") == 7
+
+
+def test_merged_records_sorted_by_sequence():
+    tracer = DecisionTracer()
+    tracer.record(choose())
+    tracer.record(placement())
+    tracer.record(choose())
+    assert [r.seq for r in tracer.records()] == [0, 1, 2]
+    assert tracer.kinds() == ["choose-replica", "placement"]
+
+
+def test_counters_track_reasons_and_outcomes():
+    tracer = DecisionTracer()
+    tracer.record(choose())
+    tracer.record(choose())
+    tracer.record(placement())
+    tracer.record(
+        CreateObjRecord(
+            source=0,
+            candidate=1,
+            obj=2,
+            action="migrate",
+            accepted=False,
+            reason="low-watermark",
+            unit_load=1.0,
+            upper_load=90.0,
+            low_watermark=80.0,
+            high_watermark=90.0,
+        )
+    )
+    counters = tracer.counters
+    assert counters.get("choose-replica", "sole") == 2
+    assert counters.get("placement", "drop:dropped") == 1
+    assert counters.get("create-obj", "low-watermark") == 1
+    assert "placement" in counters.as_dict()
+
+
+def test_counters_direct_api():
+    counters = Counters()
+    counters.bump("a", "x")
+    counters.bump("a", "x")
+    counters.bump("b", "y")
+    assert counters.get("a", "x") == 2
+    assert counters.get("a", "missing") == 0
+    assert counters.subsystem("b") == {"y": 1}
+
+
+def test_message_class_filter_defaults_to_control_plane():
+    tracer = DecisionTracer()
+    tracer.record_message(0, 1, 2, 100, MessageClass.REQUEST)
+    tracer.record_message(0, 1, 2, 100, MessageClass.RESPONSE)
+    tracer.record_message(0, 1, 2, 100, MessageClass.CONTROL)
+    tracer.record_message(0, 1, 2, 100, MessageClass.RELOCATION)
+    classes = [r.message_class for r in tracer.records("message")]
+    assert classes == ["control", "relocation"]
+
+
+def test_message_class_filter_none_records_all():
+    tracer = DecisionTracer(message_classes=None)
+    for cls in MessageClass:
+        tracer.record_message(0, 1, 1, 10, cls)
+    assert len(tracer.records("message")) == len(MessageClass)
+
+
+def test_message_class_filter_empty_records_none():
+    tracer = DecisionTracer(message_classes=())
+    tracer.record_message(0, 1, 1, 10, MessageClass.CONTROL)
+    assert tracer.records("message") == []
+
+
+def test_sim_run_hooks_record_timing():
+    sim = Simulator()
+    tracer = DecisionTracer()
+    tracer.bind_clock(lambda: sim.now)
+    sim.add_tracer(tracer)
+    sim.schedule_at(1.0, lambda: None)
+    sim.run(until=5.0)
+    (run_record,) = tracer.records("sim-run")
+    assert isinstance(run_record, SimRunRecord)
+    assert run_record.until == 5.0
+    assert run_record.wall_seconds >= 0.0
+    assert run_record.time == 5.0
+
+
+def test_summary_shape():
+    tracer = DecisionTracer(capacity=1)
+    tracer.record(choose())
+    tracer.record(choose())
+    summary = tracer.summary()
+    assert summary["recorded"] == 2
+    assert summary["retained"] == 1
+    assert summary["dropped"] == 1
+    assert summary["per_kind"]["choose-replica"] == {"retained": 1, "dropped": 1}
+    assert summary["counters"]["choose-replica"]["sole"] == 2
+
+
+def test_null_tracer_is_silent():
+    tracer = NullTracer()
+    tracer.record(choose())
+    tracer.record_message(0, 1, 1, 10, MessageClass.CONTROL)

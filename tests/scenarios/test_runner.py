@@ -1,6 +1,5 @@
 """Tests for the scenario runner on short, small-scale runs."""
 
-import pytest
 
 from repro.baselines.round_robin import RoundRobinRedirector
 from repro.scenarios.config import ScenarioConfig

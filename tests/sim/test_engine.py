@@ -77,12 +77,36 @@ def test_cancel_prevents_firing():
     assert fired == []
 
 
-def test_double_cancel_raises():
+def test_double_cancel_is_idempotent():
+    """One canonical cancellation path: cancelling twice (through either
+    the simulator or the event handle, in any mix) is a no-op."""
     sim = Simulator()
     event = sim.schedule_at(1.0, lambda: None)
     sim.cancel(event)
-    with pytest.raises(SimulationError):
-        sim.cancel(event)
+    sim.cancel(event)
+    event.cancel()
+    assert sim.pending == 0
+
+
+def test_event_cancel_directly_keeps_pending_in_sync():
+    """Event.cancel() must decrement the live count just like
+    Simulator.cancel() (historically it skipped the queue bookkeeping)."""
+    sim = Simulator()
+    event = sim.schedule_at(1.0, lambda: None)
+    sim.schedule_at(2.0, lambda: None)
+    event.cancel()
+    assert sim.pending == 1
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_cancel_after_firing_is_noop():
+    sim = Simulator()
+    event = sim.schedule_at(1.0, lambda: None)
+    sim.schedule_at(2.0, lambda: None)
+    sim.run(until=1.0)
+    sim.cancel(event)  # already fired: must not corrupt the live count
+    assert sim.pending == 1
 
 
 def test_stop_ends_run_early():
@@ -111,6 +135,35 @@ def test_run_until_advances_clock_when_queue_drains():
     assert sim.now == 10.0
 
 
+def test_run_until_advances_clock_when_all_remaining_cancelled():
+    """Regression: when the loop exits because every remaining heap entry
+    is tombstoned (peek_time() is None), the clock must still advance to
+    the horizon, exactly as on the queue-drained exit."""
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(1.0, fired.append, 1)
+    doomed = sim.schedule_at(5.0, fired.append, 5)
+    sim.schedule_at(1.0, lambda: doomed.cancel())
+    end = sim.run(until=10.0)
+    assert fired == [1]
+    assert end == 10.0
+    assert sim.now == 10.0
+
+
+def test_run_until_boundary_semantics():
+    """Events scheduled exactly at ``until`` fire; later ones don't."""
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(3.0, fired.append, "at")
+    sim.schedule_at(3.0 + 1e-9, fired.append, "after")
+    end = sim.run(until=3.0)
+    assert fired == ["at"]
+    assert end == 3.0
+    assert sim.pending == 1
+    sim.run()
+    assert fired == ["at", "after"]
+
+
 def test_trace_hook_sees_events():
     sim = Simulator()
     traced = []
@@ -119,3 +172,78 @@ def test_trace_hook_sees_events():
     sim.run()
     assert len(traced) == 1
     assert traced[0].time == 1.0
+
+
+class _RecordingTracer:
+    def __init__(self):
+        self.events = []
+        self.runs = []
+
+    def on_event(self, event):
+        self.events.append(event.time)
+
+    def on_run_start(self, sim, until):
+        self.runs.append(("start", sim.now, until))
+
+    def on_run_end(self, sim, fired):
+        self.runs.append(("end", sim.now, fired))
+
+
+def test_pluggable_tracer_sees_events_and_run_boundaries():
+    sim = Simulator()
+    tracer = _RecordingTracer()
+    sim.add_tracer(tracer)
+    sim.schedule_at(1.0, lambda: None)
+    sim.schedule_at(2.0, lambda: None)
+    sim.run(until=5.0)
+    assert tracer.events == [1.0, 2.0]
+    assert tracer.runs == [("start", 0.0, 5.0), ("end", 5.0, 2)]
+
+
+def test_tracer_composes_with_trace_attribute():
+    sim = Simulator()
+    tracer = _RecordingTracer()
+    plain = []
+    sim.add_tracer(tracer)
+    sim.trace = lambda event: plain.append(event.time)
+    sim.schedule_at(1.0, lambda: None)
+    sim.run()
+    assert tracer.events == [1.0]
+    assert plain == [1.0]
+
+
+def test_partial_tracer_hooks_are_optional():
+    class EndOnly:
+        def __init__(self):
+            self.fired = None
+
+        def on_run_end(self, sim, fired):
+            self.fired = fired
+
+    sim = Simulator()
+    tracer = EndOnly()
+    sim.add_tracer(tracer)
+    sim.schedule_at(1.0, lambda: None)
+    sim.run()
+    # No on_event hook attached: the loop stays untraced, fired count 0.
+    assert tracer.fired == 0
+
+
+def test_remove_tracer():
+    sim = Simulator()
+    tracer = _RecordingTracer()
+    sim.add_tracer(tracer)
+    sim.remove_tracer(tracer)
+    sim.schedule_at(1.0, lambda: None)
+    sim.run()
+    assert tracer.events == []
+    with pytest.raises(SimulationError):
+        sim.remove_tracer(tracer)
+
+
+def test_duplicate_tracer_rejected():
+    sim = Simulator()
+    tracer = _RecordingTracer()
+    sim.add_tracer(tracer)
+    with pytest.raises(SimulationError):
+        sim.add_tracer(tracer)

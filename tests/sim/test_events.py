@@ -30,8 +30,29 @@ def test_len_counts_live_events():
     queue.push(2.0, lambda: None, ())
     assert len(queue) == 2
     event.cancel()
-    queue.note_cancelled()
     assert len(queue) == 1
+
+
+def test_cancel_is_idempotent_on_live_count():
+    """Double-cancelling must decrement the live count exactly once."""
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None, ())
+    queue.push(2.0, lambda: None, ())
+    event.cancel()
+    event.cancel()
+    event.cancel()
+    assert len(queue) == 1
+
+
+def test_cancel_after_pop_is_noop():
+    """Cancelling an event that already fired must not corrupt the count."""
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None, ())
+    queue.push(2.0, lambda: None, ())
+    assert queue.pop() is first
+    first.cancel()
+    assert len(queue) == 1
+    assert queue.pop().time == 2.0
 
 
 def test_pop_skips_cancelled():
@@ -39,7 +60,6 @@ def test_pop_skips_cancelled():
     doomed = queue.push(1.0, lambda: None, ())
     survivor = queue.push(2.0, lambda: None, ())
     doomed.cancel()
-    queue.note_cancelled()
     assert queue.pop() is survivor
 
 
@@ -54,8 +74,15 @@ def test_peek_time_skips_cancelled():
     doomed = queue.push(1.0, lambda: None, ())
     queue.push(5.0, lambda: None, ())
     doomed.cancel()
-    queue.note_cancelled()
     assert queue.peek_time() == 5.0
+
+
+def test_peek_time_none_when_all_cancelled():
+    queue = EventQueue()
+    for t in (1.0, 2.0):
+        queue.push(t, lambda: None, ()).cancel()
+    assert queue.peek_time() is None
+    assert len(queue) == 0
 
 
 def test_peek_time_empty_is_none():

@@ -1,8 +1,10 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
-from repro.__main__ import build_parser, main
+from repro.__main__ import build_parser, build_trace_parser, main
 
 
 def test_parser_defaults():
@@ -50,3 +52,58 @@ def test_main_static_baseline(capsys):
     )
     assert code == 0
     assert "relocations" in capsys.readouterr().out
+
+
+def test_trace_parser_defaults():
+    args = build_trace_parser().parse_args([])
+    assert args.preset == "zipf"
+    assert args.out == "-"
+    assert args.kind is None
+
+
+def test_trace_subcommand_emits_decision_jsonl(capsys):
+    code = main(
+        [
+            "trace",
+            "--preset",
+            "zipf",
+            "--scale",
+            "0.1",
+            "--duration",
+            "250",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    records = [json.loads(line) for line in captured.out.splitlines()]
+    assert records
+    kinds = {record["kind"] for record in records}
+    assert {"choose-replica", "placement", "create-obj", "offload"} <= kinds
+    # Every record is stamped and discriminated.
+    assert all("time" in record and "seq" in record for record in records)
+    # The run summary goes to stderr, keeping stdout valid JSONL.
+    assert "counters" in captured.err
+
+
+def test_trace_subcommand_kind_filter_and_file_output(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    code = main(
+        [
+            "trace",
+            "--preset",
+            "uniform",
+            "--scale",
+            "0.05",
+            "--duration",
+            "120",
+            "--kind",
+            "placement",
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    assert capsys.readouterr().out == ""
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    assert records
+    assert {record["kind"] for record in records} == {"placement"}

@@ -6,6 +6,11 @@ interval, and the watermark band.  These sweeps regenerate the tradeoffs
 on the Zipf workload so DESIGN.md's claims about each knob are backed by
 data.  All runs use a smaller scale/duration than the headline figures —
 the point is the ordering between settings, not absolute levels.
+
+Each ablation is one :class:`repro.sweep.SweepSpec` executed by the
+sweep engine (parallel across cores when available), and reads its
+numbers from the per-point metric aggregation rather than from live
+simulator objects.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ import pytest
 
 from repro.metrics.report import format_table
 from repro.scenarios.presets import paper_scenario
-from repro.scenarios.runner import run_scenario
+from repro.sweep import SweepSpec, default_workers, point_label, run_sweep
 
 from benchmarks._util import fmt_pct, report
 
@@ -22,35 +27,44 @@ SCALE = 0.15
 DURATION = 1500.0
 
 
-def _run(**protocol_overrides):
-    config = paper_scenario("zipf", scale=SCALE, duration=DURATION)
-    if protocol_overrides:
-        config = config.replace(
-            protocol=config.protocol.replace(**protocol_overrides)
-        )
-    return run_scenario(config)
+def _base():
+    return paper_scenario("zipf", scale=SCALE, duration=DURATION)
+
+
+def _sweep(spec):
+    result = run_sweep(spec, workers=default_workers())
+    assert not result.failures, [r.error for r in result.failures]
+    return result
 
 
 @pytest.fixture(scope="module")
 def constant_sweep():
-    return {
-        constant: _run(distribution_constant=constant)
-        for constant in (1.5, 2.0, 4.0)
-    }
+    spec = SweepSpec.grid(
+        _base(),
+        {"protocol.distribution_constant": (1.5, 2.0, 4.0)},
+        name="ablation-distribution-constant",
+    )
+    return _sweep(spec)
 
 
 def test_ablation_distribution_constant(constant_sweep, benchmark):
-    rows = benchmark(
-        lambda: [
+    points = constant_sweep.aggregate()
+
+    def tabulate():
+        return [
             [
                 f"{constant:g}",
-                fmt_pct(result.proximity_reduction()),
-                f"{result.replicas_per_object():.2f}",
-                f"{result.max_load_settled():.1f}",
+                fmt_pct(metrics["proximity_reduction"].mean),
+                f"{metrics['replicas_per_object'].mean:.2f}",
+                f"{metrics['max_load_settled'].mean:.1f}",
             ]
-            for constant, result in constant_sweep.items()
+            for constant, metrics in (
+                (c, points[f"distribution_constant={c}"])
+                for c in (1.5, 2.0, 4.0)
+            )
         ]
-    )
+
+    rows = benchmark(tabulate)
     report(
         "Ablation: distribution constant (paper uses 2)",
         format_table(
@@ -60,9 +74,8 @@ def test_ablation_distribution_constant(constant_sweep, benchmark):
         + "\nLarger constants favour proximity (closest replica keeps a "
         "bigger share);\nsmaller constants spread load more evenly.",
     )
-    for result in constant_sweep.values():
-        assert result.proximity_reduction() > 0.2
-        result.system.check_invariants()
+    for metrics in points.values():
+        assert metrics["proximity_reduction"].mean > 0.2
 
 
 def test_ablation_threshold_ratio(benchmark):
@@ -71,27 +84,34 @@ def test_ablation_threshold_ratio(benchmark):
     replica churn (drops), which is exactly the vicious cycle the
     constraint exists to damp."""
 
-    def sweep():
-        results = {}
-        for ratio in (4.5, 6.0, 12.0):
-            u = 0.03 * SCALE
-            results[ratio] = _run(
-                deletion_threshold=u, replication_threshold=ratio * u
-            )
-        return results
+    u = 0.03 * SCALE
+    ratios = (4.5, 6.0, 12.0)
+    overrides = {
+        ratio: {
+            "protocol.deletion_threshold": u,
+            "protocol.replication_threshold": ratio * u,
+        }
+        for ratio in ratios
+    }
+    spec = SweepSpec(
+        base=_base(),
+        points=tuple(overrides.values()),
+        name="ablation-threshold-ratio",
+    )
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(lambda: _sweep(spec), rounds=1, iterations=1)
+    points = result.aggregate()
     rows = []
     drops = {}
-    for ratio, result in results.items():
-        events = result.system.placement_events
-        drops[ratio] = sum(1 for e in events if e.action.value == "drop")
+    for ratio in ratios:
+        metrics = points[point_label(overrides[ratio])]
+        drops[ratio] = metrics["replica_drops"].mean
         rows.append(
             [
                 f"{ratio:g}",
-                f"{drops[ratio]}",
-                f"{result.replicas_per_object():.2f}",
-                fmt_pct(result.proximity_reduction()),
+                f"{drops[ratio]:.0f}",
+                f"{metrics['replicas_per_object'].mean:.2f}",
+                fmt_pct(metrics["proximity_reduction"].mean),
             ]
         )
     report(
@@ -109,20 +129,26 @@ def test_ablation_placement_interval(benchmark):
     """Responsiveness vs burst sensitivity: shorter intervals adjust
     faster (the paper chose 100 s to mask sub-minute burstiness)."""
 
-    def sweep():
-        return {
-            interval: _run(placement_interval=interval)
-            for interval in (50.0, 100.0, 200.0)
-        }
+    intervals = (50.0, 100.0, 200.0)
+    spec = SweepSpec.grid(
+        _base(),
+        {"protocol.placement_interval": intervals},
+        name="ablation-placement-interval",
+    )
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(lambda: _sweep(spec), rounds=1, iterations=1)
+    points = result.aggregate()
+    adjustment = {
+        interval: points[f"placement_interval={interval}"]["adjustment_time"].mean
+        for interval in intervals
+    }
     rows = [
         [
             f"{interval:g}s",
-            f"{result.adjustment_time() / 60:.1f} min",
-            fmt_pct(result.proximity_reduction()),
+            f"{adjustment[interval] / 60:.1f} min",
+            fmt_pct(points[f"placement_interval={interval}"]["proximity_reduction"].mean),
         ]
-        for interval, result in results.items()
+        for interval in intervals
     ]
     report(
         "Ablation: placement interval (paper uses 100 s)",
@@ -130,4 +156,4 @@ def test_ablation_placement_interval(benchmark):
             ["interval", "adjustment time", "proximity reduction"], rows
         ),
     )
-    assert results[50.0].adjustment_time() <= results[200.0].adjustment_time() * 1.5
+    assert adjustment[50.0] <= adjustment[200.0] * 1.5

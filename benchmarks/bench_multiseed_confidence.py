@@ -5,16 +5,19 @@ Figure 6 reproduction is seed luck: the Zipf bandwidth reduction is
 measured across independent seeds and summarised with a 95% confidence
 interval, which must exclude zero by a wide margin and be narrow relative
 to the mean (the effect is structural, not stochastic).
+
+The seed fan-out goes through :mod:`repro.sweep` — one worker process
+per core by default (``REPRO_SWEEP_WORKERS`` overrides) — which is also
+an end-to-end exercise of the engine on a real multi-seed experiment.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.analysis.stats import summarize
 from repro.metrics.report import format_table
 from repro.scenarios.presets import paper_scenario
-from repro.scenarios.runner import run_scenario
+from repro.sweep import SweepSpec, default_workers, run_sweep
 
 from benchmarks._util import fmt_pct, report
 
@@ -24,26 +27,23 @@ DURATION = 1500.0
 
 
 @pytest.fixture(scope="module")
-def seed_runs():
-    results = {}
-    for seed in SEEDS:
-        config = paper_scenario("zipf", scale=SCALE, duration=DURATION, seed=seed)
-        results[seed] = run_scenario(config)
-    return results
+def seed_sweep():
+    spec = SweepSpec(
+        base=paper_scenario("zipf", scale=SCALE, duration=DURATION),
+        seeds=SEEDS,
+        name="multiseed-confidence",
+    )
+    result = run_sweep(spec, workers=default_workers())
+    assert not result.failures, [r.error for r in result.failures]
+    return result
 
 
-def test_bandwidth_reduction_is_seed_robust(seed_runs, benchmark):
+def test_bandwidth_reduction_is_seed_robust(seed_sweep, benchmark):
     def summarise():
         return {
-            "bandwidth": summarize(
-                [r.bandwidth_reduction() for r in seed_runs.values()]
-            ),
-            "proximity": summarize(
-                [r.proximity_reduction() for r in seed_runs.values()]
-            ),
-            "replicas": summarize(
-                [r.replicas_per_object() for r in seed_runs.values()]
-            ),
+            "bandwidth": seed_sweep.metric("bandwidth_reduction"),
+            "proximity": seed_sweep.metric("proximity_reduction"),
+            "replicas": seed_sweep.metric("replicas_per_object"),
         }
 
     summaries = benchmark(summarise)

@@ -2,8 +2,10 @@
 
 Asserts that ``paper_parameters()`` reproduces the paper's Table 1
 verbatim and prints it next to the scaled configuration the harness
-actually runs.  The timed kernel is scenario construction + validation
-(the part users pay on every experiment setup).
+actually runs.  The parameter variants (base vs the Figure 9 high-load
+watermarks) are expressed as sweep-engine override points, so the timed
+kernel is spec expansion + config validation — the part every sweep
+pays per grid point.
 """
 
 from __future__ import annotations
@@ -11,6 +13,7 @@ from __future__ import annotations
 from repro.analysis.tables import table1_rows
 from repro.metrics.report import format_table
 from repro.scenarios.presets import bench_scale, paper_parameters
+from repro.sweep import SweepSpec
 
 from benchmarks._util import report
 
@@ -27,15 +30,38 @@ PAPER_TABLE1 = [
     ("Replication threshold m", "6u, or 0.18 requests/sec"),
 ]
 
+#: The Figure 9 watermark variant as a sweep override point.
+HIGH_LOAD_POINT = {
+    "protocol.high_watermark": 50.0,
+    "protocol.low_watermark": 40.0,
+}
+
 
 def test_table1_parameters(benchmark):
-    config = benchmark(paper_parameters)
+    def expand():
+        spec = SweepSpec(
+            base=paper_parameters(),
+            points=({}, HIGH_LOAD_POINT),
+            name="table1-parameters",
+        )
+        return spec.runs()
+
+    runs = benchmark(expand)
+    assert len(runs) == 2
+    assert runs[0].point == "base"
+    assert runs[1].point == "high_watermark=50.0,low_watermark=40.0"
+
+    config = runs[0].config
     ours = dict(table1_rows(config))
     for name, value in PAPER_TABLE1:
         assert ours[name] == value, f"{name}: {ours[name]!r} != {value!r}"
-    # Watermarks: Table 1 lists both the 90/80 and 50/40 variants.
-    high = paper_parameters(high_load=True)
+    # Watermarks: Table 1 lists both the 90/80 and 50/40 variants, and
+    # the high-load point must agree with ``paper_parameters(high_load=True)``.
+    high = runs[1].config
     assert (high.protocol.high_watermark, high.protocol.low_watermark) == (50, 40)
+    reference = paper_parameters(high_load=True)
+    assert high.protocol.high_watermark == reference.protocol.high_watermark
+    assert high.protocol.low_watermark == reference.protocol.low_watermark
 
     scaled = config.scaled(bench_scale())
     rows = [

@@ -1,0 +1,144 @@
+"""CI benchmark-regression gate: compare a smoke sweep to the baseline.
+
+Usage::
+
+    python -m repro sweep --smoke --json bench_smoke.json
+    python benchmarks/compare_baseline.py bench_smoke.json
+
+Compares the sweep summary produced by ``python -m repro sweep --smoke``
+against the committed ``benchmarks/reports/baseline.json``:
+
+* **spec identity** — the spec hashes must match exactly (a drifted
+  smoke spec silently invalidates the comparison, so it is an error);
+* **run health** — every run must have status ``ok``;
+* **throughput** — serviced requests per wall-clock second must be
+  within ``--tolerance`` (default ±25%) of the baseline.  Throughput is
+  machine-sensitive; the tolerance absorbs runner jitter while catching
+  step-change regressions in the simulator hot path or the executor;
+* **deterministic metrics** — per-point metric means must be within
+  ``--metric-tolerance`` (default 10%) relative.  These depend only on
+  seeds, so a drift here means the simulation itself changed behaviour
+  (which must come with a regenerated baseline).
+
+Exit code 0 on pass, 1 on any violation (the CI job fails).  Regenerate
+the baseline after an intentional change with::
+
+    python -m repro sweep --smoke --json benchmarks/reports/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "reports" / "baseline.json"
+
+
+def _rel_delta(current: float, reference: float) -> float:
+    if reference == 0:
+        return 0.0 if current == 0 else math.inf
+    return (current - reference) / abs(reference)
+
+
+def compare(
+    current: dict,
+    baseline: dict,
+    *,
+    tolerance: float,
+    metric_tolerance: float,
+) -> list[str]:
+    """Return the list of violations (empty = gate passes)."""
+    problems: list[str] = []
+
+    if current.get("spec_hash") != baseline.get("spec_hash"):
+        problems.append(
+            f"spec hash mismatch: current {current.get('spec_hash')!r} vs "
+            f"baseline {baseline.get('spec_hash')!r} — the smoke spec changed; "
+            "regenerate benchmarks/reports/baseline.json"
+        )
+        return problems  # nothing else is comparable
+
+    statuses = current.get("statuses", {})
+    failed = {k: v for k, v in statuses.items() if k != "ok"}
+    if failed or statuses.get("ok", 0) != current.get("runs"):
+        problems.append(f"not all runs succeeded: statuses={statuses}")
+
+    throughput = current.get("throughput_rps", 0.0)
+    reference = baseline.get("throughput_rps", 0.0)
+    delta = _rel_delta(throughput, reference)
+    if delta < -tolerance:
+        problems.append(
+            f"throughput regressed {-delta:.1%} (> {tolerance:.0%} tolerance): "
+            f"{throughput:.0f} rps vs baseline {reference:.0f} rps"
+        )
+
+    for point, metrics in baseline.get("points", {}).items():
+        current_metrics = current.get("points", {}).get(point)
+        if current_metrics is None:
+            problems.append(f"point {point!r} missing from current summary")
+            continue
+        for name, stats in metrics.items():
+            if name not in current_metrics:
+                problems.append(f"metric {point}/{name} missing from current summary")
+                continue
+            drift = _rel_delta(current_metrics[name]["mean"], stats["mean"])
+            if abs(drift) > metric_tolerance:
+                problems.append(
+                    f"deterministic metric {point}/{name} drifted {drift:+.1%} "
+                    f"(> {metric_tolerance:.0%}): {current_metrics[name]['mean']:.6g} "
+                    f"vs baseline {stats['mean']:.6g}"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="sweep summary JSON to check")
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help=f"baseline summary JSON (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative throughput regression (default: 0.25)",
+    )
+    parser.add_argument(
+        "--metric-tolerance",
+        type=float,
+        default=0.10,
+        help="allowed relative drift of deterministic metric means (default: 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    current = json.loads(Path(args.current).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    problems = compare(
+        current,
+        baseline,
+        tolerance=args.tolerance,
+        metric_tolerance=args.metric_tolerance,
+    )
+    speedup = _rel_delta(
+        current.get("throughput_rps", 0.0), baseline.get("throughput_rps", 1.0)
+    )
+    print(
+        f"throughput: {current.get('throughput_rps', 0):.0f} rps "
+        f"(baseline {baseline.get('throughput_rps', 0):.0f} rps, {speedup:+.1%})"
+    )
+    if problems:
+        print(f"\nbenchmark gate FAILED ({len(problems)} violation(s)):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("benchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

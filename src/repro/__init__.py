@@ -28,8 +28,15 @@ from repro.core.config import ProtocolConfig
 from repro.core.protocol import HostingSystem
 from repro.scenarios.config import ScenarioConfig
 from repro.scenarios.presets import paper_parameters, paper_scenario
-from repro.scenarios.runner import ScenarioResult, build_system, run_scenario
+from repro.scenarios.runner import (
+    ScenarioResult,
+    build_system,
+    run_scenario,
+    run_scenario_metrics,
+    scenario_metrics,
+)
 from repro.sim.engine import Simulator
+from repro.sweep import SweepSpec, run_sweep
 from repro.topology.uunet import uunet_backbone
 
 __version__ = "1.0.0"
@@ -45,5 +52,9 @@ __all__ = [
     "paper_parameters",
     "paper_scenario",
     "run_scenario",
+    "run_scenario_metrics",
+    "scenario_metrics",
+    "run_sweep",
+    "SweepSpec",
     "build_system",
 ]

@@ -12,6 +12,16 @@ default; the run summary goes to stderr):
 
     python -m repro trace --preset zipf > trace.jsonl
     python -m repro trace --preset regional --kind placement --out p.jsonl
+
+The ``sweep`` subcommand fans a scenario x seed x parameter grid out
+across worker processes and aggregates the per-run metrics (mean,
+stddev, 95% CI), optionally writing a JSONL run manifest and a JSON
+summary:
+
+    python -m repro sweep --preset zipf --seeds 4 --workers 4
+    python -m repro sweep --preset regional --set protocol.placement_interval=50,100 \
+        --manifest sweep.jsonl --json summary.json
+    python -m repro sweep --smoke --json bench_smoke.json   # the CI gate sweep
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from repro.obs.records import RECORD_KINDS
 from repro.obs.tracer import DEFAULT_CAPACITY
 from repro.scenarios.presets import WORKLOAD_NAMES, paper_scenario
 from repro.scenarios.runner import run_scenario
+from repro.sweep import SweepSpec, default_workers, run_sweep, smoke_spec
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -131,6 +142,198 @@ def build_trace_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description=(
+            "Run a scenario x seed x parameter-override sweep across "
+            "worker processes and aggregate the metrics."
+        ),
+    )
+    parser.add_argument(
+        "--preset",
+        choices=[*WORKLOAD_NAMES, "uniform"],
+        default="zipf",
+        help="workload preset to sweep (default: zipf)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.15,
+        help="load-axis scale relative to Table 1 (default: 0.15)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=600.0,
+        help="simulated seconds per run (default: 600)",
+    )
+    parser.add_argument(
+        "--high-load",
+        action="store_true",
+        help="use the Figure 9 watermarks (50/40 instead of 90/80)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=0,
+        metavar="N",
+        help="derive N seeds from --root-seed (default: the preset's seed)",
+    )
+    parser.add_argument(
+        "--seed-list",
+        default=None,
+        metavar="S1,S2,...",
+        help="explicit comma-separated seeds (overrides --seeds)",
+    )
+    parser.add_argument(
+        "--root-seed",
+        type=int,
+        default=0,
+        help="root seed for --seeds derivation (default: 0)",
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=None,
+        metavar="KEY=V1[,V2,...]",
+        help=(
+            "grid axis: dotted config key and comma-separated values, e.g. "
+            "protocol.placement_interval=50,100 (repeatable; axes combine "
+            "as a cartesian product)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_SWEEP_WORKERS or CPU count, max 8)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-run timeout in wall-clock seconds (workers > 1 only)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries for a run whose worker crashed (default: 1)",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="write the JSONL run manifest here",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="PATH",
+        help="write the aggregate sweep summary as JSON here",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "ignore scenario options and run the canonical CI smoke sweep "
+            "(fixed spec shared with benchmarks/reports/baseline.json)"
+        ),
+    )
+    return parser
+
+
+def _parse_override_value(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    if text in ("true", "false"):
+        return text == "true"
+    return text
+
+
+def _parse_axes(pairs: list[str] | None) -> dict[str, list]:
+    axes: dict[str, list] = {}
+    for pair in pairs or []:
+        key, sep, values = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"bad --set {pair!r}; expected KEY=V1[,V2,...]")
+        axes[key] = [
+            _parse_override_value(v) for v in values.split(",") if v != ""
+        ]
+    return axes
+
+
+def sweep_main(argv: list[str]) -> int:
+    args = build_sweep_parser().parse_args(argv)
+    if args.smoke:
+        spec = smoke_spec()
+    else:
+        base = paper_scenario(
+            args.preset,
+            high_load=args.high_load,
+            scale=args.scale,
+            duration=args.duration,
+        )
+        seeds: tuple[int, ...] = ()
+        if args.seed_list:
+            seeds = tuple(int(s) for s in args.seed_list.split(","))
+        spec = SweepSpec.grid(
+            base,
+            _parse_axes(args.overrides),
+            seeds=seeds,
+            num_seeds=0 if seeds else args.seeds,
+            root_seed=args.root_seed,
+            name=f"{args.preset}-sweep",
+        )
+    workers = args.workers if args.workers is not None else default_workers()
+    runs = spec.runs()
+    print(
+        f"sweep {spec.name!r}: {len(runs)} runs "
+        f"({len(spec.points)} points x {len(spec.resolved_seeds())} seeds), "
+        f"{workers} worker(s), spec {spec.spec_hash()}",
+        file=sys.stderr,
+    )
+    result = run_sweep(
+        spec,
+        workers=workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        manifest_path=args.manifest,
+    )
+    for point, metrics in result.aggregate().items():
+        rows = [
+            [name, f"{s.mean:.4g}", f"{s.stdev:.3g}", f"{s.ci95:.3g}"]
+            for name, s in metrics.items()
+        ]
+        print(f"\n[{point}]")
+        print(format_table(["metric", "mean", "stdev", "95% CI"], rows))
+    print(
+        f"\n{len(result.ok_records)}/{len(result.records)} runs ok in "
+        f"{result.wall_time_s:.1f}s wall "
+        f"({result.throughput():.0f} serviced requests/s)"
+    )
+    for failure in result.failures:
+        print(
+            f"FAILED run {failure.index} ({failure.point}/seed={failure.seed}): "
+            f"{failure.status}: {failure.error}",
+            file=sys.stderr,
+        )
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(result.summary(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote summary to {args.json_out}", file=sys.stderr)
+    if args.manifest:
+        print(f"wrote manifest to {args.manifest}", file=sys.stderr)
+    return 0 if not result.failures else 1
+
+
 def trace_main(argv: list[str]) -> int:
     args = build_trace_parser().parse_args(argv)
     config = paper_scenario(
@@ -161,6 +364,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = paper_scenario(
         args.workload,

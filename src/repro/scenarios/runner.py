@@ -214,6 +214,78 @@ class ScenarioResult:
         return self.replicas.equilibrium_replicas_per_object()
 
 
+#: Metric names :func:`scenario_metrics` always emits (series-derived
+#: metrics are additionally present when the run spans >= 2 buckets).
+SCALAR_METRICS = (
+    "requests_completed",
+    "requests_dropped",
+    "relocations",
+    "replica_drops",
+    "max_load",
+    "max_load_settled",
+    "replicas_per_object",
+    "overhead_fraction",
+    "overhead_fraction_fullscale",
+)
+
+#: Metrics derived from the bucketed time series; absent from
+#: :func:`scenario_metrics` output when the run is too short for them.
+SERIES_METRICS = (
+    "bandwidth_reduction",
+    "proximity_reduction",
+    "latency_equilibrium",
+    "latency_reduction",
+    "adjustment_time",
+)
+
+
+def scenario_metrics(result: ScenarioResult) -> dict[str, float]:
+    """Flatten a run's headline measurements into a JSON-safe scalar dict.
+
+    This is the per-run payload of the sweep engine: everything a
+    worker process ships back to the parent (the :class:`ScenarioResult`
+    itself holds the whole simulator and never crosses the process
+    boundary).  Series-derived metrics that need at least two buckets
+    are silently omitted on runs too short to compute them.
+    """
+    events = result.system.placement_events
+    metrics: dict[str, float] = {
+        "requests_completed": float(result.latency.completed),
+        "requests_dropped": float(result.latency.dropped),
+        "relocations": float(len(events)),
+        "replica_drops": float(
+            sum(1 for e in events if e.action.value == "drop")
+        ),
+        "max_load": result.max_load(),
+        "max_load_settled": result.max_load_settled(),
+        "replicas_per_object": result.replicas_per_object(),
+        "overhead_fraction": result.overhead_fraction(),
+        "overhead_fraction_fullscale": result.overhead_fraction_fullscale(),
+    }
+    series_derived: dict[str, Callable[[], float]] = {
+        "bandwidth_reduction": result.bandwidth_reduction,
+        "proximity_reduction": result.proximity_reduction,
+        "latency_equilibrium": result.latency_equilibrium,
+        "latency_reduction": result.latency_reduction,
+        "adjustment_time": result.adjustment_time,
+    }
+    for name, compute in series_derived.items():
+        try:
+            metrics[name] = compute()
+        except ConfigurationError:
+            pass
+    return metrics
+
+
+def run_scenario_metrics(config: ScenarioConfig) -> dict[str, float]:
+    """Run one scenario and return only its scalar metrics.
+
+    Module-level (hence picklable) on purpose: this is the function the
+    sweep executor runs inside worker processes.
+    """
+    return scenario_metrics(run_scenario(config))
+
+
 def run_scenario(
     config: ScenarioConfig,
     *,

@@ -1,0 +1,57 @@
+"""Parallel multi-seed / parameter-grid sweep engine.
+
+The substrate for every multi-run experiment in the repository: a
+declarative :class:`SweepSpec` (scenario x seeds x dotted-key parameter
+overrides), a process-pool executor with per-run timeouts and bounded
+crash retries (:func:`run_sweep`), and a result layer that writes a
+JSONL run manifest and aggregates per-metric mean / stddev / 95% CI
+via :mod:`repro.analysis.stats`.
+
+>>> from repro.scenarios.presets import paper_scenario   # doctest: +SKIP
+>>> from repro.sweep import SweepSpec, run_sweep         # doctest: +SKIP
+>>> spec = SweepSpec.grid(                               # doctest: +SKIP
+...     paper_scenario("zipf", scale=0.1, duration=600),
+...     {"protocol.placement_interval": [50.0, 100.0]},
+...     num_seeds=4, root_seed=7,
+... )
+>>> result = run_sweep(spec, workers=4)                  # doctest: +SKIP
+>>> result.metric("bandwidth_reduction").mean            # doctest: +SKIP
+"""
+
+from repro.sweep.executor import (
+    SweepResult,
+    default_workers,
+    run_sweep,
+)
+from repro.sweep.manifest import (
+    RUN_STATUSES,
+    RunRecord,
+    aggregate,
+    read_manifest,
+    summary_dict,
+    write_manifest,
+)
+from repro.sweep.smoke import smoke_spec
+from repro.sweep.spec import (
+    RunSpec,
+    SweepSpec,
+    apply_overrides,
+    point_label,
+)
+
+__all__ = [
+    "RUN_STATUSES",
+    "RunRecord",
+    "RunSpec",
+    "SweepResult",
+    "SweepSpec",
+    "aggregate",
+    "apply_overrides",
+    "default_workers",
+    "point_label",
+    "read_manifest",
+    "run_sweep",
+    "smoke_spec",
+    "summary_dict",
+    "write_manifest",
+]

@@ -1,0 +1,383 @@
+"""Process-pool sweep executor.
+
+``run_sweep`` fans a :class:`~repro.sweep.spec.SweepSpec` out across
+worker processes.  Each run is executed in its own process (started
+from a pool of at most ``workers`` live at a time), which buys three
+things a thread pool cannot give a pure-Python simulator: parallelism
+across cores, a per-run timeout that actually kills a wedged run, and
+crash isolation — a worker that dies (OOM killer, segfaulting C
+extension, ``os._exit``) costs one bounded retry, not the sweep.
+
+``workers=1`` degrades gracefully to a plain in-process loop calling
+the run function directly — no subprocess, no pickling — so its results
+are bit-identical to calling
+:func:`~repro.scenarios.runner.run_scenario_metrics` by hand in a
+``for`` loop, and per-run timeouts/retries do not apply (nothing can
+crash or be killed short of the interpreter itself).
+
+Determinism: a run's outcome depends only on its
+:class:`~repro.scenarios.config.ScenarioConfig` (every stochastic
+component draws from seed-derived streams), so serial and parallel
+execution produce identical per-run metrics; only wall-clock differs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.analysis.stats import MetricSummary, summarize
+from repro.errors import ConfigurationError
+from repro.scenarios.runner import run_scenario_metrics
+from repro.sweep.manifest import (
+    RunRecord,
+    aggregate,
+    summary_dict,
+    write_manifest,
+)
+from repro.sweep.spec import RunSpec, SweepSpec
+
+#: A run function: executes one run, returns its scalar metrics.
+RunFn = Callable[[RunSpec], Mapping[str, float]]
+
+#: Default per-run timeout (seconds) in worker-pool mode; None = no limit.
+DEFAULT_TIMEOUT: float | None = None
+
+
+def default_workers() -> int:
+    """Worker count benchmarks and the CLI default to.
+
+    ``REPRO_SWEEP_WORKERS`` overrides; otherwise the CPU count capped at
+    8 (past that, pure-Python runs contend for memory bandwidth more
+    than they gain).
+    """
+    override = os.environ.get("REPRO_SWEEP_WORKERS")
+    if override is not None:
+        try:
+            value = int(override)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad REPRO_SWEEP_WORKERS {override!r}"
+            ) from exc
+        if value < 1:
+            raise ConfigurationError(
+                f"REPRO_SWEEP_WORKERS must be >= 1, got {value}"
+            )
+        return value
+    return min(os.cpu_count() or 1, 8)
+
+
+def _execute_run(run: RunSpec) -> Mapping[str, float]:
+    """The default run function: one full scenario, metrics only."""
+    return run_scenario_metrics(run.config)
+
+
+def _child_main(conn, run_fn: RunFn, run: RunSpec) -> None:
+    """Worker-process body: run, report through the pipe, exit."""
+    try:
+        metrics = run_fn(run)
+        conn.send(("ok", dict(metrics)))
+    except BaseException as exc:  # noqa: BLE001 - ship any failure to the parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass  # pipe gone; the parent will see a crash
+    finally:
+        conn.close()
+
+
+@dataclass(frozen=True, slots=True)
+class SweepResult:
+    """Everything a finished sweep produced."""
+
+    spec_hash: str
+    records: tuple[RunRecord, ...]
+    wall_time_s: float
+    workers: int
+
+    @property
+    def ok_records(self) -> tuple[RunRecord, ...]:
+        return tuple(r for r in self.records if r.ok)
+
+    @property
+    def failures(self) -> tuple[RunRecord, ...]:
+        return tuple(r for r in self.records if not r.ok)
+
+    def metric(self, name: str, *, point: str | None = None) -> MetricSummary:
+        """Summarise one metric across ``ok`` runs (optionally one point)."""
+        values = [
+            r.metrics[name]
+            for r in self.ok_records
+            if (point is None or r.point == point) and name in (r.metrics or {})
+        ]
+        if not values:
+            raise ConfigurationError(
+                f"no successful run recorded metric {name!r}"
+                + (f" at point {point!r}" if point else "")
+            )
+        return summarize(values)
+
+    def aggregate(self) -> dict[str, dict[str, MetricSummary]]:
+        """Per-point, per-metric summaries (see :func:`manifest.aggregate`)."""
+        return aggregate(self.records)
+
+    def total(self, name: str) -> float:
+        """Sum of one metric over the ``ok`` runs (0.0 if never recorded)."""
+        return sum(r.metrics.get(name, 0.0) for r in self.ok_records)
+
+    def throughput(self) -> float:
+        """Serviced requests per wall-clock second, across the whole sweep.
+
+        The benchmark-gate headline: it reflects both simulator speed
+        and executor parallelism, and is the quantity the CI smoke job
+        compares against the committed baseline.
+        """
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.total("requests_completed") / self.wall_time_s
+
+    def summary(self) -> dict:
+        """JSON-ready sweep summary (the ``bench_smoke.json`` schema)."""
+        statuses: dict[str, int] = {}
+        for record in self.records:
+            statuses[record.status] = statuses.get(record.status, 0) + 1
+        return {
+            "spec_hash": self.spec_hash,
+            "runs": len(self.records),
+            "statuses": statuses,
+            "workers": self.workers,
+            "wall_time_s": self.wall_time_s,
+            "requests_completed": self.total("requests_completed"),
+            "throughput_rps": self.throughput(),
+            "points": summary_dict(self.aggregate()),
+        }
+
+
+@dataclass(slots=True)
+class _Slot:
+    """One live worker process."""
+
+    run: RunSpec
+    attempt: int
+    proc: multiprocessing.Process
+    conn: object
+    started: float = field(default_factory=time.monotonic)
+
+
+def _record(
+    spec_hash: str,
+    run: RunSpec,
+    status: str,
+    attempts: int,
+    duration: float,
+    metrics: Mapping[str, float] | None = None,
+    error: str | None = None,
+) -> RunRecord:
+    return RunRecord(
+        spec_hash=spec_hash,
+        index=run.index,
+        point=run.point,
+        seed=run.seed,
+        overrides=dict(run.overrides),
+        scenario=run.config.name,
+        status=status,
+        attempts=attempts,
+        duration_s=duration,
+        metrics=dict(metrics) if metrics is not None else None,
+        error=error,
+    )
+
+
+def _run_serial(
+    spec_hash: str, runs: tuple[RunSpec, ...], run_fn: RunFn
+) -> list[RunRecord]:
+    records: list[RunRecord] = []
+    for run in runs:
+        started = time.monotonic()
+        try:
+            metrics = run_fn(run)
+        except Exception as exc:  # noqa: BLE001 - a failed run is a record
+            records.append(
+                _record(
+                    spec_hash,
+                    run,
+                    "error",
+                    1,
+                    time.monotonic() - started,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+        else:
+            records.append(
+                _record(
+                    spec_hash, run, "ok", 1, time.monotonic() - started, metrics
+                )
+            )
+    return records
+
+
+def _mp_context():
+    """Prefer fork (cheap, inherits loaded modules); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _run_pool(
+    spec_hash: str,
+    runs: tuple[RunSpec, ...],
+    run_fn: RunFn,
+    workers: int,
+    timeout: float | None,
+    retries: int,
+) -> list[RunRecord]:
+    ctx = _mp_context()
+    pending: deque[tuple[RunSpec, int]] = deque((run, 1) for run in runs)
+    active: list[_Slot] = []
+    done: dict[int, RunRecord] = {}
+
+    def finish(slot: _Slot, record: RunRecord) -> None:
+        done[record.index] = record
+        slot.conn.close()
+
+    while pending or active:
+        while pending and len(active) < workers:
+            run, attempt = pending.popleft()
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_child_main, args=(child_conn, run_fn, run), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            active.append(_Slot(run=run, attempt=attempt, proc=proc, conn=parent_conn))
+
+        def crashed(slot: _Slot, elapsed: float) -> None:
+            """Worker died without reporting: retry or record the crash."""
+            if slot.attempt <= retries:
+                pending.append((slot.run, slot.attempt + 1))
+                slot.conn.close()
+            else:
+                finish(
+                    slot,
+                    _record(
+                        spec_hash,
+                        slot.run,
+                        "crashed",
+                        slot.attempt,
+                        elapsed,
+                        error=(
+                            "worker died without reporting "
+                            f"(exit code {slot.proc.exitcode}) after "
+                            f"{slot.attempt} attempt(s)"
+                        ),
+                    ),
+                )
+
+        progressed = False
+        for slot in list(active):
+            elapsed = time.monotonic() - slot.started
+            if slot.conn.poll(0):
+                # poll() also trips on EOF: a worker that died closes
+                # the pipe without writing, and recv() raises.
+                try:
+                    status, payload = slot.conn.recv()
+                except EOFError:
+                    slot.proc.join()
+                    active.remove(slot)
+                    progressed = True
+                    crashed(slot, elapsed)
+                    continue
+                slot.proc.join()
+                active.remove(slot)
+                progressed = True
+                if status == "ok":
+                    finish(
+                        slot,
+                        _record(
+                            spec_hash, slot.run, "ok", slot.attempt, elapsed, payload
+                        ),
+                    )
+                else:
+                    finish(
+                        slot,
+                        _record(
+                            spec_hash,
+                            slot.run,
+                            "error",
+                            slot.attempt,
+                            elapsed,
+                            error=payload,
+                        ),
+                    )
+            elif timeout is not None and elapsed > timeout:
+                slot.proc.terminate()
+                slot.proc.join()
+                active.remove(slot)
+                progressed = True
+                finish(
+                    slot,
+                    _record(
+                        spec_hash,
+                        slot.run,
+                        "timeout",
+                        slot.attempt,
+                        elapsed,
+                        error=f"run exceeded {timeout:g}s and was killed",
+                    ),
+                )
+            elif not slot.proc.is_alive():
+                slot.proc.join()
+                active.remove(slot)
+                progressed = True
+                crashed(slot, elapsed)
+        if not progressed:
+            time.sleep(0.005)
+    return [done[index] for index in sorted(done)]
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: int = 1,
+    timeout: float | None = DEFAULT_TIMEOUT,
+    retries: int = 1,
+    run_fn: RunFn = _execute_run,
+    manifest_path: str | Path | None = None,
+) -> SweepResult:
+    """Execute every run of ``spec`` and collect the records.
+
+    ``workers=1`` runs in-process and serially (bit-identical to a
+    hand-rolled ``run_scenario`` loop); ``workers>1`` uses a process
+    pool with a per-run ``timeout`` (seconds; ``None`` disables) and up
+    to ``retries`` re-executions of a run whose worker crashed.  When
+    ``manifest_path`` is given the JSONL run manifest is written there
+    (parents created) after the sweep completes, ordered by run index.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ConfigurationError(f"timeout must be positive, got {timeout}")
+    runs = spec.runs()
+    spec_hash = spec.spec_hash()
+    started = time.monotonic()
+    if workers == 1:
+        records = _run_serial(spec_hash, runs, run_fn)
+    else:
+        records = _run_pool(
+            spec_hash, runs, run_fn, min(workers, len(runs)), timeout, retries
+        )
+    result = SweepResult(
+        spec_hash=spec_hash,
+        records=tuple(records),
+        wall_time_s=time.monotonic() - started,
+        workers=workers,
+    )
+    if manifest_path is not None:
+        write_manifest(result.records, manifest_path)
+    return result

@@ -1,0 +1,124 @@
+"""Sweep run records: the JSONL manifest and cross-run aggregation.
+
+Every run of a sweep — including failed ones — produces one
+:class:`RunRecord`.  The manifest is one JSON object per line with a
+flat, self-describing schema::
+
+    {"spec_hash": "1f0c...", "index": 0, "point": "base", "seed": 1,
+     "overrides": {}, "scenario": "paper-low-load-zipf-x0.15",
+     "status": "ok", "attempts": 1, "duration_s": 3.21,
+     "metrics": {"bandwidth_reduction": 0.51, ...}, "error": null}
+
+``status`` is one of ``ok`` (metrics present), ``error`` (the scenario
+raised), ``crashed`` (the worker process died without reporting, after
+exhausting its retry budget) or ``timeout`` (the run exceeded the
+per-run limit and was killed).  Aggregation groups ``ok`` records by
+parameter point and summarises each metric with the Student-t 95%
+machinery of :mod:`repro.analysis.stats`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.analysis.stats import MetricSummary, summarize
+from repro.errors import ConfigurationError
+
+#: Legal ``RunRecord.status`` values.
+RUN_STATUSES = ("ok", "error", "crashed", "timeout")
+
+
+@dataclass(frozen=True, slots=True)
+class RunRecord:
+    """Outcome of one sweep run (one manifest line)."""
+
+    spec_hash: str
+    index: int
+    point: str
+    seed: int
+    overrides: dict[str, object]
+    scenario: str
+    status: str
+    attempts: int
+    duration_s: float
+    metrics: dict[str, float] | None = None
+    error: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in RUN_STATUSES:
+            raise ConfigurationError(
+                f"unknown run status {self.status!r}; expected one of {RUN_STATUSES}"
+            )
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def write_manifest(records: Iterable[RunRecord], path: str | Path) -> int:
+    """Write records as JSONL (parents created); returns the line count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(asdict(record), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_manifest(path: str | Path) -> list[RunRecord]:
+    """Read a manifest back as :class:`RunRecord` objects, in file order."""
+    out: list[RunRecord] = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(RunRecord(**json.loads(line)))
+    return out
+
+
+def aggregate(
+    records: Iterable[RunRecord],
+) -> dict[str, dict[str, MetricSummary]]:
+    """Per-point, per-metric summaries across the ``ok`` records.
+
+    Returns ``{point_label: {metric_name: MetricSummary}}``; only
+    metrics present in every ``ok`` record of a point are summarised
+    (a short run may legitimately omit series-derived metrics, and a
+    mean over a subset would be misleading).
+    """
+    by_point: dict[str, list[RunRecord]] = {}
+    for record in records:
+        if record.ok:
+            by_point.setdefault(record.point, []).append(record)
+    out: dict[str, dict[str, MetricSummary]] = {}
+    for point, group in by_point.items():
+        names = set(group[0].metrics or ())
+        for record in group[1:]:
+            names &= set(record.metrics or ())
+        out[point] = {
+            name: summarize([record.metrics[name] for record in group])
+            for name in sorted(names)
+        }
+    return out
+
+
+def summary_dict(summaries: Mapping[str, Mapping[str, MetricSummary]]) -> dict:
+    """JSON-ready form of :func:`aggregate` output (for ``--json`` export)."""
+    return {
+        point: {
+            name: {
+                "mean": s.mean,
+                "stdev": s.stdev,
+                "ci95": s.ci95,
+                "n": len(s.values),
+            }
+            for name, s in metrics.items()
+        }
+        for point, metrics in summaries.items()
+    }

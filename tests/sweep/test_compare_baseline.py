@@ -1,0 +1,80 @@
+"""The CI benchmark-regression gate's comparison logic."""
+
+import copy
+
+from benchmarks.compare_baseline import compare
+
+BASELINE = {
+    "spec_hash": "abc",
+    "runs": 4,
+    "statuses": {"ok": 4},
+    "throughput_rps": 1000.0,
+    "points": {
+        "base": {
+            "bandwidth_reduction": {"mean": 0.5, "stdev": 0.01, "ci95": 0.02, "n": 2},
+        }
+    },
+}
+
+
+def _check(current, **kwargs):
+    kwargs.setdefault("tolerance", 0.25)
+    kwargs.setdefault("metric_tolerance", 0.10)
+    return compare(current, BASELINE, **kwargs)
+
+
+def test_identical_summary_passes():
+    assert _check(copy.deepcopy(BASELINE)) == []
+
+
+def test_faster_run_passes():
+    current = copy.deepcopy(BASELINE)
+    current["throughput_rps"] = 5000.0
+    assert _check(current) == []
+
+
+def test_small_regression_within_tolerance_passes():
+    current = copy.deepcopy(BASELINE)
+    current["throughput_rps"] = 800.0  # -20%
+    assert _check(current) == []
+
+
+def test_throughput_regression_fails():
+    current = copy.deepcopy(BASELINE)
+    current["throughput_rps"] = 700.0  # -30%
+    problems = _check(current)
+    assert len(problems) == 1
+    assert "throughput regressed" in problems[0]
+
+
+def test_spec_hash_mismatch_fails_fast():
+    current = copy.deepcopy(BASELINE)
+    current["spec_hash"] = "other"
+    current["throughput_rps"] = 1.0  # would also fail, but hash short-circuits
+    problems = _check(current)
+    assert len(problems) == 1
+    assert "spec hash mismatch" in problems[0]
+
+
+def test_failed_runs_fail_the_gate():
+    current = copy.deepcopy(BASELINE)
+    current["statuses"] = {"ok": 3, "crashed": 1}
+    assert any("not all runs succeeded" in p for p in _check(current))
+
+
+def test_deterministic_metric_drift_fails():
+    current = copy.deepcopy(BASELINE)
+    current["points"]["base"]["bandwidth_reduction"]["mean"] = 0.42  # -16%
+    problems = _check(current)
+    assert any("drifted" in p for p in problems)
+    # ... but passes with a looser metric tolerance.
+    assert _check(current, metric_tolerance=0.2) == []
+
+
+def test_missing_point_and_metric_fail():
+    current = copy.deepcopy(BASELINE)
+    current["points"] = {}
+    assert any("missing" in p for p in _check(current))
+    current = copy.deepcopy(BASELINE)
+    current["points"]["base"] = {}
+    assert any("missing" in p for p in _check(current))

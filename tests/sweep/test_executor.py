@@ -1,0 +1,157 @@
+"""Executor edge cases: empty grids, timeouts, crashes, retries.
+
+The expensive-path tests stub the run function (a sweep run here is a
+sleep, a crash or a tiny dict — not a simulation), so the whole module
+exercises the scheduling machinery in well under a second per test.
+Custom run functions are passed as closures, which the fork start
+method supports; the pool tests are skipped on platforms without fork.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios.config import ScenarioConfig
+from repro.sweep import SweepSpec, run_sweep
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+
+
+def _base(**kwargs):
+    return ScenarioConfig(workload="uniform", num_objects=50, **kwargs)
+
+
+def _spec(n_runs=2):
+    return SweepSpec(base=_base(), seeds=tuple(range(1, n_runs + 1)))
+
+
+def _fake_run(run):
+    return {"requests_completed": 100.0 + run.index, "seed_echo": float(run.seed)}
+
+
+class TestSerial:
+    def test_empty_sweep_yields_empty_result(self, tmp_path):
+        spec = SweepSpec.grid(_base(), {"node_request_rate": []})
+        manifest = tmp_path / "manifest.jsonl"
+        result = run_sweep(spec, run_fn=_fake_run, manifest_path=manifest)
+        assert result.records == ()
+        assert result.aggregate() == {}
+        assert result.throughput() == 0.0
+        assert manifest.read_text() == ""
+
+    def test_single_seed_single_run(self):
+        result = run_sweep(SweepSpec(base=_base(seed=5)), run_fn=_fake_run)
+        assert len(result.records) == 1
+        record = result.records[0]
+        assert record.ok and record.attempts == 1
+        assert record.seed == 5
+        assert record.metrics["seed_echo"] == 5.0
+
+    def test_error_recorded_not_raised(self):
+        def boom(run):
+            raise ValueError(f"bad run {run.index}")
+
+        result = run_sweep(_spec(2), run_fn=boom)
+        assert [r.status for r in result.records] == ["error", "error"]
+        assert "ValueError: bad run 0" in result.records[0].error
+        assert result.ok_records == ()
+        with pytest.raises(ConfigurationError):
+            result.metric("requests_completed")
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(_spec(), workers=0, run_fn=_fake_run)
+        with pytest.raises(ConfigurationError):
+            run_sweep(_spec(), retries=-1, run_fn=_fake_run)
+        with pytest.raises(ConfigurationError):
+            run_sweep(_spec(), timeout=0.0, run_fn=_fake_run)
+
+
+@needs_fork
+class TestPool:
+    def test_records_ordered_by_index_regardless_of_finish_order(self):
+        def staggered(run):
+            # Run 0 finishes last.
+            time.sleep(0.3 if run.index == 0 else 0.0)
+            return _fake_run(run)
+
+        result = run_sweep(_spec(3), workers=3, run_fn=staggered)
+        assert [r.index for r in result.records] == [0, 1, 2]
+        assert all(r.ok for r in result.records)
+        assert [r.metrics["requests_completed"] for r in result.records] == [
+            100.0,
+            101.0,
+            102.0,
+        ]
+
+    def test_timeout_kills_the_run_and_records_it(self):
+        def hang(run):
+            if run.index == 0:
+                time.sleep(60)
+            return _fake_run(run)
+
+        started = time.monotonic()
+        result = run_sweep(_spec(2), workers=2, timeout=0.5, run_fn=hang)
+        assert time.monotonic() - started < 30
+        assert result.records[0].status == "timeout"
+        assert "killed" in result.records[0].error
+        assert result.records[1].ok
+
+    def test_crash_retries_then_fails(self):
+        def crash(run):
+            os._exit(17)
+
+        result = run_sweep(_spec(1), workers=2, retries=1, run_fn=crash)
+        record = result.records[0]
+        assert record.status == "crashed"
+        assert record.attempts == 2  # first try + one retry
+        assert "exit code 17" in record.error
+
+    def test_crash_then_success_on_retry(self, tmp_path):
+        marker = tmp_path / "first-attempt"
+
+        def flaky(run):
+            if not marker.exists():
+                marker.write_text("crashed once")
+                os._exit(1)
+            return _fake_run(run)
+
+        result = run_sweep(_spec(1), workers=2, retries=1, run_fn=flaky)
+        record = result.records[0]
+        assert record.ok
+        assert record.attempts == 2
+
+    def test_child_exception_is_an_error_not_a_crash(self):
+        def boom(run):
+            raise RuntimeError("deterministic failure")
+
+        result = run_sweep(_spec(1), workers=2, retries=5, run_fn=boom)
+        record = result.records[0]
+        assert record.status == "error"
+        assert record.attempts == 1  # deterministic exceptions are not retried
+        assert "RuntimeError: deterministic failure" in record.error
+
+    def test_more_runs_than_workers_all_complete(self):
+        result = run_sweep(_spec(7), workers=2, run_fn=_fake_run)
+        assert len(result.records) == 7
+        assert all(r.ok for r in result.records)
+        summary = result.summary()
+        assert summary["statuses"] == {"ok": 7}
+        assert summary["runs"] == 7
+
+    def test_runs_overlap_in_time(self):
+        # 8 runs of ~0.25 s each: serial needs >= 2 s, four workers keep
+        # the wall clock near 0.5 s.  Sleeps (not CPU) so the assertion
+        # holds on any core count — this checks executor scheduling
+        # overlap, the property the 4-core speedup criterion rests on.
+        def nap(run):
+            time.sleep(0.25)
+            return _fake_run(run)
+
+        result = run_sweep(_spec(8), workers=4, run_fn=nap)
+        assert all(r.ok for r in result.records)
+        assert result.wall_time_s < 0.5 * (8 * 0.25)

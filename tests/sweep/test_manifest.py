@@ -1,0 +1,100 @@
+"""Manifest JSONL round-trip and metric aggregation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweep import (
+    RunRecord,
+    aggregate,
+    read_manifest,
+    summary_dict,
+    write_manifest,
+)
+
+
+def _record(index, *, point="base", status="ok", metrics=None, **kwargs):
+    defaults = dict(
+        spec_hash="abc123",
+        index=index,
+        point=point,
+        seed=index + 1,
+        overrides={},
+        scenario="test-scenario",
+        status=status,
+        attempts=1,
+        duration_s=0.5,
+        metrics=metrics,
+        error=None if status == "ok" else "boom",
+    )
+    defaults.update(kwargs)
+    return RunRecord(**defaults)
+
+
+def test_status_validated():
+    with pytest.raises(ConfigurationError, match="unknown run status"):
+        _record(0, status="exploded")
+
+
+def test_round_trip_preserves_everything(tmp_path):
+    records = [
+        _record(0, metrics={"a": 1.0, "b": 2.5}),
+        _record(
+            1,
+            point="placement_interval=50.0",
+            overrides={"protocol.placement_interval": 50.0},
+            metrics={"a": 2.0},
+        ),
+        _record(2, status="crashed"),
+        _record(3, status="timeout"),
+    ]
+    path = tmp_path / "deep" / "manifest.jsonl"  # parents are created
+    assert write_manifest(records, path) == 4
+    loaded = read_manifest(path)
+    assert loaded == records
+
+
+def test_round_trip_skips_blank_lines(tmp_path):
+    path = tmp_path / "manifest.jsonl"
+    write_manifest([_record(0, metrics={"a": 1.0})], path)
+    path.write_text(path.read_text() + "\n\n")
+    assert len(read_manifest(path)) == 1
+
+
+def test_aggregate_groups_by_point_and_skips_failures():
+    records = [
+        _record(0, metrics={"a": 1.0}),
+        _record(1, metrics={"a": 3.0}),
+        _record(2, point="p2", metrics={"a": 10.0}),
+        _record(3, status="error"),
+    ]
+    summaries = aggregate(records)
+    assert set(summaries) == {"base", "p2"}
+    assert summaries["base"]["a"].mean == 2.0
+    assert len(summaries["base"]["a"].values) == 2
+    assert summaries["p2"]["a"].mean == 10.0
+
+
+def test_aggregate_summarises_only_common_metrics():
+    # A short run may omit series-derived metrics; a mean over a subset
+    # of runs would be misleading, so only the intersection is reported.
+    records = [
+        _record(0, metrics={"a": 1.0, "rare": 5.0}),
+        _record(1, metrics={"a": 3.0}),
+    ]
+    summaries = aggregate(records)
+    assert set(summaries["base"]) == {"a"}
+
+
+def test_summary_dict_is_json_shaped():
+    summaries = aggregate([_record(0, metrics={"a": 1.0}), _record(1, metrics={"a": 2.0})])
+    out = summary_dict(summaries)
+    assert out == {
+        "base": {
+            "a": {
+                "mean": 1.5,
+                "stdev": out["base"]["a"]["stdev"],
+                "ci95": out["base"]["a"]["ci95"],
+                "n": 2,
+            }
+        }
+    }

@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from repro.__main__ import build_parser, build_trace_parser, main
+from repro.__main__ import (
+    build_parser,
+    build_sweep_parser,
+    build_trace_parser,
+    main,
+)
 
 
 def test_parser_defaults():
@@ -52,6 +57,90 @@ def test_main_static_baseline(capsys):
     )
     assert code == 0
     assert "relocations" in capsys.readouterr().out
+
+
+def test_sweep_parser_defaults():
+    args = build_sweep_parser().parse_args([])
+    assert args.preset == "zipf"
+    assert args.seeds == 0
+    assert args.workers is None
+    assert args.retries == 1
+    assert not args.smoke
+
+
+def test_sweep_subcommand_runs_grid_and_writes_outputs(tmp_path, capsys):
+    manifest = tmp_path / "manifest.jsonl"
+    summary = tmp_path / "summary.json"
+    code = main(
+        [
+            "sweep",
+            "--preset",
+            "uniform",
+            "--scale",
+            "0.05",
+            "--duration",
+            "120",
+            "--seed-list",
+            "1,2",
+            "--set",
+            "protocol.placement_interval=50,100",
+            "--workers",
+            "1",
+            "--manifest",
+            str(manifest),
+            "--json",
+            str(summary),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "[placement_interval=50]" in out
+    assert "4/4 runs ok" in out
+
+    records = [json.loads(line) for line in manifest.read_text().splitlines()]
+    assert len(records) == 4
+    assert [r["index"] for r in records] == [0, 1, 2, 3]
+    assert {r["seed"] for r in records} == {1, 2}
+    assert all(r["status"] == "ok" for r in records)
+    assert all("bandwidth_reduction" in r["metrics"] for r in records)
+
+    data = json.loads(summary.read_text())
+    assert data["runs"] == 4
+    assert data["statuses"] == {"ok": 4}
+    assert data["throughput_rps"] > 0
+    assert set(data["points"]) == {
+        "placement_interval=50",
+        "placement_interval=100",
+    }
+    # The manifest and summary agree on the spec identity.
+    assert {r["spec_hash"] for r in records} == {data["spec_hash"]}
+
+
+def test_sweep_subcommand_derived_seeds(capsys):
+    code = main(
+        [
+            "sweep",
+            "--preset",
+            "uniform",
+            "--scale",
+            "0.05",
+            "--duration",
+            "120",
+            "--seeds",
+            "2",
+            "--root-seed",
+            "7",
+            "--workers",
+            "1",
+        ]
+    )
+    assert code == 0
+    assert "2 runs (1 points x 2 seeds)" in capsys.readouterr().err
+
+
+def test_sweep_rejects_bad_set_syntax():
+    with pytest.raises(SystemExit):
+        main(["sweep", "--set", "no-equals-sign", "--workers", "1"])
 
 
 def test_trace_parser_defaults():

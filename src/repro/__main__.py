@@ -6,6 +6,12 @@ metrics the benchmark harness reports, for ad-hoc exploration:
     python -m repro --workload regional --scale 0.15 --duration 1800
     python -m repro --workload zipf --high-load --distribution closest
 
+Fault-injection flags enable the unreliable-network fault plane
+(message loss, host outages, heartbeat detection, replica repair):
+
+    python -m repro --workload zipf --loss 0.05 --outage 3:60:120
+    python -m repro --workload zipf --mtbf 900 --mttr 120 --json run.json
+
 The ``trace`` subcommand runs a scenario with the decision tracer
 attached and emits the structured protocol trace as JSONL (stdout by
 default; the run summary goes to stderr):
@@ -35,7 +41,7 @@ from repro.obs.export import dump_jsonl, write_jsonl
 from repro.obs.records import RECORD_KINDS
 from repro.obs.tracer import DEFAULT_CAPACITY
 from repro.scenarios.presets import WORKLOAD_NAMES, paper_scenario
-from repro.scenarios.runner import run_scenario
+from repro.scenarios.runner import run_scenario, scenario_metrics
 from repro.sweep import SweepSpec, default_workers, run_sweep, smoke_spec
 
 
@@ -84,7 +90,90 @@ def build_parser() -> argparse.ArgumentParser:
         default="paper",
         help="request-distribution policy (default: paper)",
     )
+    faults = parser.add_argument_group(
+        "fault injection",
+        "any of these enables the unreliable-network fault plane",
+    )
+    faults.add_argument(
+        "--loss",
+        type=float,
+        default=None,
+        metavar="P",
+        help="per-message drop probability in [0, 1)",
+    )
+    faults.add_argument(
+        "--dup",
+        type=float,
+        default=None,
+        metavar="P",
+        help="per-message duplication probability in [0, 1)",
+    )
+    faults.add_argument(
+        "--jitter",
+        type=float,
+        default=None,
+        metavar="F",
+        help="extra delay jitter as a fraction of the base delay",
+    )
+    faults.add_argument(
+        "--mtbf",
+        type=float,
+        default=None,
+        metavar="S",
+        help="mean time between host failures (with --mttr: random outages)",
+    )
+    faults.add_argument(
+        "--mttr",
+        type=float,
+        default=None,
+        metavar="S",
+        help="mean time to repair a failed host",
+    )
+    faults.add_argument(
+        "--outage",
+        action="append",
+        default=None,
+        metavar="NODE:AT:DUR",
+        help="crash NODE at AT seconds for DUR seconds (repeatable)",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="PATH",
+        help="also write the run's scalar metrics as JSON here",
+    )
     return parser
+
+
+def _parse_outage(text: str) -> tuple[int, float, float]:
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise SystemExit(f"bad --outage {text!r}; expected NODE:AT:DUR")
+    try:
+        return int(parts[0]), float(parts[1]), float(parts[2])
+    except ValueError:
+        raise SystemExit(f"bad --outage {text!r}; expected NODE:AT:DUR") from None
+
+
+def _fault_config(args: argparse.Namespace):
+    """A FaultConfig from CLI flags, or None when none were given."""
+    flags = (args.loss, args.dup, args.jitter, args.mtbf, args.mttr, args.outage)
+    if all(value is None for value in flags):
+        return None
+    if (args.mtbf is None) != (args.mttr is None):
+        raise SystemExit("--mtbf and --mttr must be given together")
+    from repro.network.faults import FaultConfig
+
+    return FaultConfig(
+        enabled=True,
+        drop_prob=args.loss or 0.0,
+        duplicate_prob=args.dup or 0.0,
+        delay_jitter=args.jitter or 0.0,
+        mtbf=args.mtbf,
+        mttr=args.mttr,
+        outages=tuple(_parse_outage(o) for o in args.outage or ()),
+    )
 
 
 def build_trace_parser() -> argparse.ArgumentParser:
@@ -375,6 +464,9 @@ def main(argv: list[str] | None = None) -> int:
         duration=args.duration,
         seed=args.seed,
     ).replace(distribution=args.distribution)
+    faults = _fault_config(args)
+    if faults is not None:
+        config = config.replace(faults=faults)
     print(f"running {config.name!r} ({args.distribution} distribution) ...")
     result = run_scenario(config)
 
@@ -395,8 +487,31 @@ def main(argv: list[str] | None = None) -> int:
          f"(hw {config.protocol.high_watermark:g})"],
         ["relocations", f"{len(result.system.placement_events)}"],
     ]
+    if result.system.fault_plane is not None:
+        from repro.metrics.availability import fault_metrics
+
+        faulty = fault_metrics(result.system, config.duration)
+        rows.extend(
+            [
+                ["requests lost", f"{faulty['requests_lost']:.0f}"],
+                ["rpc retries / timeouts",
+                 f"{faulty['rpc_retries']:.0f} / {faulty['rpc_timeouts']:.0f}"],
+                ["failure detections / recoveries",
+                 f"{faulty.get('failure_detections', 0.0):.0f} / "
+                 f"{faulty.get('failure_recoveries', 0.0):.0f}"],
+                ["repairs", f"{faulty.get('repairs', 0.0):.0f}"],
+                ["unavailability",
+                 f"{faulty.get('unavailability_seconds', 0.0):.1f} s"],
+            ]
+        )
     print()
     print(format_table(["metric", "value"], rows))
+    if args.json_out:
+        metrics = scenario_metrics(result)
+        with open(args.json_out, "w") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote metrics to {args.json_out}")
     return 0
 
 

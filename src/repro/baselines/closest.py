@@ -15,9 +15,13 @@ from repro.types import NodeId, ObjectId
 class ClosestReplicaRedirector(RedirectorService):
     """Chooses the replica with minimum hop distance to the gateway."""
 
-    def choose_replica(self, gateway: NodeId, obj: ObjectId) -> NodeId | None:
+    def choose_replica(
+        self, gateway: NodeId, obj: ObjectId, *, exclude: NodeId | None = None
+    ) -> NodeId | None:
         replicas = self._entry(obj)
-        available = [h for h in replicas if self.host_available(h)]
+        available = [
+            h for h in replicas if self.host_available(h) and h != exclude
+        ]
         if not available:
             return None
         row = self._routes.distance_row(gateway)

@@ -19,9 +19,13 @@ class RoundRobinRedirector(RedirectorService):
         super().__init__(*args, **kwargs)
         self._cursor: dict[ObjectId, int] = {}
 
-    def choose_replica(self, gateway: NodeId, obj: ObjectId) -> NodeId | None:
+    def choose_replica(
+        self, gateway: NodeId, obj: ObjectId, *, exclude: NodeId | None = None
+    ) -> NodeId | None:
         replicas = self._entry(obj)
-        hosts = sorted(h for h in replicas if self.host_available(h))
+        hosts = sorted(
+            h for h in replicas if self.host_available(h) and h != exclude
+        )
         if not hosts:
             return None
         index = self._cursor.get(obj, 0) % len(hosts)

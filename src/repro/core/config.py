@@ -61,6 +61,13 @@ class ProtocolConfig:
         placement rounds (halting relocations) until one clean interval
         restores a trustworthy measurement.  ``None`` (default) disables
         the mechanism, matching the base protocol.
+    report_expiry_intervals:
+        Load-board reports older than this many measurement intervals
+        are ignored by recipient discovery, so a crashed host's stale
+        (often idle-looking) report stops advertising it as an offload
+        recipient.  Healthy hosts re-report every interval, so any value
+        of at least 2 never filters a live host and leaves fault-free
+        runs unchanged.  ``None`` disables expiry (the seed behaviour).
     """
 
     high_watermark: float = 90.0
@@ -74,6 +81,7 @@ class ProtocolConfig:
     measurement_interval: float = 20.0
     stagger_placement: bool = True
     relocation_freeze_intervals: int | None = None
+    report_expiry_intervals: int | None = 3
 
     def __post_init__(self) -> None:
         self.validate()
@@ -111,6 +119,15 @@ class ProtocolConfig:
         ):
             raise ConfigurationError(
                 "relocation_freeze_intervals must be at least 1 when set"
+            )
+        if (
+            self.report_expiry_intervals is not None
+            and self.report_expiry_intervals < 2
+        ):
+            raise ConfigurationError(
+                "report_expiry_intervals must be at least 2 when set (a "
+                "healthy host's newest report can legitimately be one "
+                "interval old)"
             )
 
     def with_watermarks(self, low: float, high: float) -> "ProtocolConfig":

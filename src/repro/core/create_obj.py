@@ -30,7 +30,6 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.load.bounds import replication_target_max_increase
-from repro.network.message import MessageClass
 from repro.obs.records import CreateObjRecord
 from repro.types import (
     NodeId,
@@ -60,13 +59,18 @@ def handle_create_obj(
     """
     if action not in (PlacementAction.MIGRATE, PlacementAction.REPLICATE):
         raise ValueError(f"CreateObj only handles MIGRATE/REPLICATE, got {action}")
-    network = system.network
     control = system.control_bytes
-    # Request datagram s -> p and response p -> s.
-    network.account(source, candidate, control, MessageClass.CONTROL)
-    network.account(candidate, source, control, MessageClass.CONTROL)
-
     host = system.hosts[candidate]
+    # Request datagram s -> p and response p -> s, over the RPC layer:
+    # bounded retries with backoff under a fault plane, a plain pair of
+    # accounted datagrams without one.
+    outcome = system.rpc.call(
+        source,
+        candidate,
+        request_bytes=control,
+        response_bytes=control,
+        target_alive=host.available,
+    )
     tracer = system.tracer
 
     def verdict(accepted: bool, reason: str) -> bool:
@@ -87,6 +91,11 @@ def handle_create_obj(
             )
         return accepted
 
+    if not outcome.executed:
+        # The request never reached the candidate (every retransmission
+        # was dropped, or the candidate is down): the source gives up
+        # after the retry budget and no state changed anywhere.
+        return verdict(False, "rpc-timeout")
     if not host.available:
         return verdict(False, "host-down")
     policy = system.consistency_policy
@@ -119,18 +128,30 @@ def handle_create_obj(
         affinity = host.store.add(obj)
         copied_bytes = 0
     else:
-        # Copy the object's bytes from the source host across the backbone.
+        # Copy the object's bytes from the source host across the
+        # backbone.  Under a fault plane the bulk transfer retransmits
+        # whole-payload rounds until one arrives intact.
         copied_bytes = system.object_size
-        network.account(source, candidate, copied_bytes, MessageClass.RELOCATION)
+        system.rpc.bulk(source, candidate, copied_bytes)
         affinity = host.store.add(obj)
 
     # Notify the redirector of the new copy / affinity *after* the fact.
+    # The notification is eventually reliable: the copy exists, so the
+    # registry must learn of it to preserve the subset invariant.
     redirector = system.redirectors.for_object(obj)
-    network.account(candidate, redirector.node, control, MessageClass.CONTROL)
+    system.rpc.notify(candidate, redirector.node, control)
     redirector.replica_created(obj, candidate, affinity)
 
     host.estimator.note_acquired(max_increase, system.sim.now)
     system.record_placement(
         action, reason, obj, source=source, target=candidate, copied_bytes=copied_bytes
     )
+    if not outcome.acked:
+        # The candidate accepted and acted, but its acceptance response
+        # never reached the source: the source sees a failure while the
+        # replica exists.  The registry already knows about the copy, so
+        # the system stays consistent with one extra (harmless) replica;
+        # report the handshake as failed so the source does not also
+        # reduce its own affinity.
+        return verdict(False, "lost-ack")
     return verdict(True, "accepted")

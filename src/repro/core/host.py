@@ -136,6 +136,18 @@ class HostServer:
         backlog = self._busy_until - now
         return 0.0 if backlog <= 0 else backlog / self.service_time
 
+    def crash(self, now: Time) -> None:
+        """Crash at ``now``: mark unavailable and lose the queued work.
+
+        Requests already admitted to the queue die with the host — their
+        completion events still fire, but the completion path sees the
+        host unavailable and marks the records lost instead of serviced.
+        """
+        if not self.available:
+            raise ProtocolError(f"host {self.node} is already failed")
+        self.available = False
+        self._busy_until = now
+
     # ------------------------------------------------------------------
     # Statistics (the control state of Section 4.1)
     # ------------------------------------------------------------------

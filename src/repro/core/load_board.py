@@ -10,20 +10,38 @@ ordered most-idle first.  Reports may be one interval stale — exactly the
 staleness a real gossip scheme would exhibit — which is why the actual
 offload request is still re-validated against the candidate's current
 upper-bound load estimate before any transfer.
+
+Reports *expire*: a crashed host stops reporting, and without expiry its
+last (often enticingly idle) report would keep advertising it as an
+offload recipient for the rest of the run.  Queries that pass ``now``
+ignore reports older than the board's expiry horizon — by default a few
+report intervals, so a healthy host (which re-reports every interval)
+is never filtered and fault-free behaviour is unchanged.
 """
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
 from repro.types import NodeId, Time
 
 
 class LoadReportBoard:
-    """Latest reported load per host."""
+    """Latest reported load per host, with staleness expiry.
 
-    __slots__ = ("_reports",)
+    ``expiry`` is the maximum report age, in seconds, a query passing
+    ``now`` will still trust; ``None`` disables expiry (the seed
+    behaviour).  Queries that omit ``now`` never filter.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("_reports", "expiry")
+
+    def __init__(self, *, expiry: float | None = None) -> None:
+        if expiry is not None and expiry <= 0:
+            raise ConfigurationError(
+                f"report expiry must be positive, got {expiry}"
+            )
         self._reports: dict[NodeId, tuple[Time, float]] = {}
+        self.expiry = expiry
 
     def report(self, node: NodeId, load: float, time: Time) -> None:
         """Record a host's periodic load report."""
@@ -34,32 +52,43 @@ class LoadReportBoard:
         entry = self._reports.get(node)
         return entry[1] if entry is not None else None
 
+    def report_time(self, node: NodeId) -> Time | None:
+        """When a host last reported, or ``None`` if never."""
+        entry = self._reports.get(node)
+        return entry[0] if entry is not None else None
+
+    def _fresh(self, time: Time, now: Time | None) -> bool:
+        return now is None or self.expiry is None or now - time <= self.expiry
+
     def candidates_below(
-        self, threshold: float, *, exclude: NodeId
+        self, threshold: float, *, exclude: NodeId | None, now: Time | None = None
     ) -> list[NodeId]:
-        """Hosts whose last report was below ``threshold``, most idle first.
+        """Hosts whose last fresh report was below ``threshold``, most
+        idle first.
 
         The excluded node (the offloader itself) is never returned.  Ties
         are broken by node id for determinism.
         """
         eligible = [
             (load, node)
-            for node, (_, load) in self._reports.items()
-            if node != exclude and load < threshold
+            for node, (time, load) in self._reports.items()
+            if node != exclude and load < threshold and self._fresh(time, now)
         ]
         eligible.sort()
         return [node for _, node in eligible]
 
-    def candidates(self, *, exclude: NodeId) -> list[tuple[NodeId, float]]:
-        """All reporting hosts (except ``exclude``) most idle first.
+    def candidates(
+        self, *, exclude: NodeId | None, now: Time | None = None
+    ) -> list[tuple[NodeId, float]]:
+        """All freshly-reporting hosts (except ``exclude``) most idle first.
 
         Used with per-host thresholds (heterogeneous watermarks): the
         caller filters each candidate against its own low watermark.
         """
         eligible = [
             (load, node)
-            for node, (_, load) in self._reports.items()
-            if node != exclude
+            for node, (time, load) in self._reports.items()
+            if node != exclude and self._fresh(time, now)
         ]
         eligible.sort()
         return [(node, load) for load, node in eligible]

@@ -76,7 +76,9 @@ def run_offload(
                 )
             )
 
-    recipient = system.find_offload_recipient(host.node)
+    # Recipient discovery consults the load board as of ``now`` so
+    # expired (crashed-host) reports are not trusted.
+    recipient = system.find_offload_recipient(host.node, now)
     if recipient is None:
         trace(None, 0, "no-recipient")
         return 0

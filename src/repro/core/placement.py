@@ -35,7 +35,6 @@ from repro.load.bounds import (
     migration_source_max_decrease,
     replication_source_max_decrease,
 )
-from repro.network.message import MessageClass
 from repro.obs.records import OffloadRecord, PlacementRecord
 from repro.types import NodeId, ObjectId, PlacementAction, PlacementReason, Time
 
@@ -89,15 +88,23 @@ class PlacementEngine:
         affinity = host.store.affinity(obj)
         if affinity > 1:
             new_affinity = host.store.reduce(obj)
-            system.network.account(
-                node, redirector.node, control, MessageClass.CONTROL
-            )
+            system.rpc.notify(node, redirector.node, control)
             redirector.affinity_reduced(obj, node, new_affinity)
             outcome = AffinityOutcome.REDUCED
         else:
-            # Intention-to-drop round trip with the redirector.
-            system.network.account(node, redirector.node, control, MessageClass.CONTROL)
-            system.network.account(redirector.node, node, control, MessageClass.CONTROL)
+            # Intention-to-drop round trip with the redirector.  The
+            # arbitration must not end ambiguously — a host that drops
+            # the bytes without the redirector knowing (or vice versa)
+            # breaks the registry-subset invariant — so the exchange is
+            # persistent: it retries past the normal budget until the
+            # answer is known on both sides.
+            system.rpc.call(
+                node,
+                redirector.node,
+                request_bytes=control,
+                response_bytes=control,
+                persistent=True,
+            )
             if not redirector.request_drop(obj, node):
                 return AffinityOutcome.REFUSED
             host.store.drop(obj)

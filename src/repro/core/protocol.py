@@ -41,11 +41,13 @@ from repro.core.offload import run_offload
 from repro.core.placement import PlacementEngine
 from repro.core.redirector import RedirectorGroup, RedirectorService
 from repro.errors import ProtocolError
+from repro.network.faults import FaultPlane
 from repro.network.message import (
     DEFAULT_CONTROL_BYTES,
     DEFAULT_REQUEST_BYTES,
     MessageClass,
 )
+from repro.network.rpc import RpcLayer
 from repro.network.transport import Network
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
@@ -67,6 +69,12 @@ PlacementObserver = Callable[[PlacementEvent], None]
 
 #: How many board candidates an offloading host probes before giving up.
 MAX_RECIPIENT_PROBES = 5
+
+#: How many times a request is re-routed to an alternate replica (after
+#: its chosen host proved dead or replica-less) before failing outright.
+#: Only enforced under an active fault plane, where a stale redirector
+#: view can repeatedly select dead hosts.
+MAX_REQUEST_RETRIES = 3
 
 
 class HostingSystem:
@@ -94,6 +102,14 @@ class HostingSystem:
     enable_placement:
         When False, no placement processes run: the system becomes the
         static-placement baseline the paper's figures compare against.
+    fault_plane:
+        Optional :class:`~repro.network.faults.FaultPlane` (robustness
+        extension).  When set, the backbone loses/duplicates/jitters
+        messages, all control conversations run over the retrying
+        :class:`~repro.network.rpc.RpcLayer`, failures are discovered by
+        the heartbeat monitor instead of an omniscient injector, and the
+        repair daemon re-replicates stranded objects.  ``None`` (default)
+        keeps every path byte-identical to the reliable system.
     """
 
     def __init__(
@@ -113,6 +129,7 @@ class HostingSystem:
         consistency_policy: object | None = None,
         host_weights: dict[NodeId, float] | None = None,
         storage_limits: dict[NodeId, int] | None = None,
+        fault_plane: FaultPlane | None = None,
     ) -> None:
         if num_objects < 1:
             raise ProtocolError("need at least one object")
@@ -167,10 +184,38 @@ class HostingSystem:
             for node in redirector_nodes
         ]
         self.redirectors = RedirectorGroup(services)
-        self.board = LoadReportBoard()
+        expiry_intervals = config.report_expiry_intervals
+        self.board = LoadReportBoard(
+            expiry=(
+                None
+                if expiry_intervals is None
+                else expiry_intervals * config.measurement_interval
+            )
+        )
         #: Node receiving load reports (co-located with the first redirector).
         self.board_node: NodeId = redirector_nodes[0]
         self.engine = PlacementEngine(self)
+
+        #: The fault plane, if any; also attached to the network so every
+        #: transmit consults it.
+        self.fault_plane = fault_plane
+        network.faults = fault_plane
+        #: Control-plane messaging shim; a pure pass-through to
+        #: ``network.account`` when no fault plane is attached.
+        self.rpc = RpcLayer(network, fault_plane)
+        #: Heartbeat failure detector and repair daemon (fault plane only).
+        self.failure_detector = None
+        self.repair_daemon = None
+        if fault_plane is not None:
+            from repro.failures.detector import HeartbeatMonitor
+            from repro.failures.repair import RepairDaemon
+
+            if fault_plane.config.detection:
+                self.failure_detector = HeartbeatMonitor(self, fault_plane.config)
+            if fault_plane.config.repair:
+                self.repair_daemon = RepairDaemon(self, fault_plane.config)
+            for service in services:
+                service.liveness_probe = self._make_liveness_probe(service.node)
 
         self.placement_events: list[PlacementEvent] = []
         self.request_observers: list[RequestObserver] = []
@@ -185,6 +230,9 @@ class HostingSystem:
         self.dropped_requests = 0
         #: Requests that found no available replica (failed hosts).
         self.failed_requests = 0
+        #: Requests (or their responses) lost to network faults or a
+        #: host crash mid-service; the client never saw an answer.
+        self.lost_requests = 0
 
     # ------------------------------------------------------------------
     # Setup
@@ -205,9 +253,30 @@ class HostingSystem:
             bind(lambda: self.sim.now)
         self.tracer = tracer
         self.network.tracer = tracer
+        self.rpc.tracer = tracer
         for service in self.redirectors.services:
             service.tracer = tracer
         self.sim.add_tracer(tracer)
+
+    def _make_liveness_probe(self, origin: NodeId) -> Callable[[NodeId], bool]:
+        """A drop-arbitration liveness probe issued from ``origin``.
+
+        One control round trip per probe; an unreachable (crashed, or
+        merely unlucky under loss) host reads as dead, which the
+        arbitration treats conservatively.
+        """
+
+        def probe(host: NodeId) -> bool:
+            outcome = self.rpc.call(
+                origin,
+                host,
+                request_bytes=self.control_bytes,
+                response_bytes=self.control_bytes,
+                target_alive=self.hosts[host].available,
+            )
+            return outcome.acked
+
+        return probe
 
     def place_initial(self, obj: ObjectId, node: NodeId) -> None:
         """Install the original copy of ``obj`` on ``node``."""
@@ -228,6 +297,10 @@ class HostingSystem:
         if self._started:
             raise ProtocolError("start() called twice")
         self._started = True
+        if self.failure_detector is not None:
+            self.failure_detector.start()
+        if self.repair_daemon is not None:
+            self.repair_daemon.start()
         config = self.config
         n = self.routes.num_nodes
         for node, host in self.hosts.items():
@@ -263,17 +336,23 @@ class HostingSystem:
         for process in self._processes:
             process.stop()
         self._processes.clear()
+        if self.failure_detector is not None:
+            self.failure_detector.stop()
+        if self.repair_daemon is not None:
+            self.repair_daemon.stop()
 
     def _make_measurement_tick(self, host: HostServer) -> Callable[[Time], None]:
         def tick(now: Time) -> None:
             if not host.available:
                 return
             load = host.measure(now)
-            # Load report to the board (small control datagram).
-            self.network.account(
+            # Load report to the board: a best-effort control datagram.
+            # A lost report just leaves the board one interval staler.
+            delivered = self.rpc.oneway(
                 host.node, self.board_node, self.control_bytes, MessageClass.CONTROL
             )
-            self.board.report(host.node, load, now)
+            if delivered:
+                self.board.report(host.node, load, now)
             for observer in self.measurement_observers:
                 observer(host, now)
 
@@ -296,16 +375,21 @@ class HostingSystem:
             obj=obj, gateway=gateway, server=-1, issued_at=self.sim.now
         )
         redirector = self.redirectors.for_object(obj)
-        hops1, delay1 = self.network.account(
+        hops1, delay1, delivered = self.network.transmit(
             gateway, redirector.node, self.request_bytes, MessageClass.REQUEST
         )
+        if not delivered:
+            record.request_hops = hops1
+            return self._lose_request(record)
         server = redirector.choose_replica(gateway, obj)
         if server is None:
             return self._fail_request(record)
-        hops2, delay2 = self.network.account(
+        hops2, delay2, delivered = self.network.transmit(
             redirector.node, server, self.request_bytes, MessageClass.REQUEST
         )
         record.request_hops = hops1 + hops2
+        if not delivered:
+            return self._lose_request(record)
         delay = delay1 + delay2
         if delay > 0:
             self.sim.schedule_after(delay, self._arrive_at_host, server, record)
@@ -322,25 +406,53 @@ class HostingSystem:
             observer(record)
         return record
 
+    def _lose_request(self, record: RequestRecord) -> RequestRecord:
+        """The request (or its response) vanished in transit."""
+        record.lost = True
+        record.completed_at = self.sim.now
+        self.lost_requests += 1
+        for observer in self.request_observers:
+            observer(record)
+        return record
+
     def _arrive_at_host(self, server: NodeId, record: RequestRecord) -> None:
         host = self.hosts[server]
         if record.obj not in host.store or not host.available:
             # The chosen replica was dropped while the request was in
             # flight (drop-before-the-fact means the redirector already
             # knows), or its host failed; forward to a currently
-            # registered, available replica.
+            # registered, available replica.  Under a fault plane the
+            # redirector's view may be stale (the crash not yet
+            # detected): tell the detector, exclude the dead host from
+            # the retry, and cap the retries.
             self.rerouted_requests += 1
+            exclude = None
+            if self.fault_plane is not None:
+                if self.failure_detector is not None:
+                    self.failure_detector.note_request_failure(server, self.sim.now)
+                record.retries += 1
+                if record.retries > MAX_REQUEST_RETRIES:
+                    self._fail_request(record)
+                    return
+                exclude = server
             redirector = self.redirectors.for_object(record.obj)
-            new_server = redirector.choose_replica(record.gateway, record.obj)
+            new_server = redirector.choose_replica(
+                record.gateway, record.obj, exclude=exclude
+            )
             if new_server is None:
                 self._fail_request(record)
                 return
-            hops, delay = self.network.account(
+            hops, delay, delivered = self.network.transmit(
                 server, new_server, self.request_bytes, MessageClass.REQUEST
             )
             record.request_hops += hops
+            if not delivered:
+                self._lose_request(record)
+                return
             self.sim.schedule_after(delay, self._arrive_at_host, new_server, record)
             return
+        if self.failure_detector is not None:
+            self.failure_detector.note_request_success(server)
         now = self.sim.now
         admitted = host.enqueue(now)
         record.server = server
@@ -360,12 +472,21 @@ class HostingSystem:
         self.sim.schedule_at(completion, self._complete_service, host, record)
 
     def _complete_service(self, host: HostServer, record: RequestRecord) -> None:
+        if not host.available:
+            # The host crashed while this request sat in its queue: the
+            # admitted work dies with the host and no response is sent.
+            self._lose_request(record)
+            return
         path = self.routes.preference_path(host.node, record.gateway)
         host.record_service(record.obj, path)
-        hops, delay = self.network.account(
+        hops, delay, delivered = self.network.transmit(
             host.node, record.gateway, self.object_size, MessageClass.RESPONSE
         )
         record.response_hops = hops
+        if not delivered:
+            # Serviced, but the response vanished on the backbone.
+            self._lose_request(record)
+            return
         if delay > 0:
             self.sim.schedule_after(delay, self._finish_request, record)
         else:
@@ -380,15 +501,20 @@ class HostingSystem:
     # Placement support
     # ------------------------------------------------------------------
 
-    def find_offload_recipient(self, source: NodeId) -> NodeId | None:
+    def find_offload_recipient(
+        self, source: NodeId, now: Time | None = None
+    ) -> NodeId | None:
         """Probe board candidates for a recipient below its low watermark.
 
         Each host is judged against its *own* watermark (heterogeneous
         hosts have weight-scaled watermarks); probes are most-idle first
-        and each costs a control round trip.
+        and each costs a control round trip.  Passing ``now`` lets the
+        board expire stale reports, so crashed hosts (which stop
+        reporting) fall out of the candidate list; an unreachable
+        candidate (dead, or lost to the fault plane) is skipped.
         """
         probed = 0
-        for candidate, reported in self.board.candidates(exclude=source):
+        for candidate, reported in self.board.candidates(exclude=source, now=now):
             host = self.hosts[candidate]
             if reported >= host.low_watermark:
                 continue
@@ -396,13 +522,14 @@ class HostingSystem:
             if probed > MAX_RECIPIENT_PROBES:
                 break
             # Offload request/response round trip.
-            self.network.account(
-                source, candidate, self.control_bytes, MessageClass.CONTROL
+            outcome = self.rpc.call(
+                source,
+                candidate,
+                request_bytes=self.control_bytes,
+                response_bytes=self.control_bytes,
+                target_alive=host.available,
             )
-            self.network.account(
-                candidate, source, self.control_bytes, MessageClass.CONTROL
-            )
-            if host.upper_load < host.low_watermark:
+            if outcome.acked and host.upper_load < host.low_watermark:
                 return candidate
         return None
 

@@ -70,6 +70,12 @@ class RedirectorService:
         #: Hosts currently marked unavailable (failure masking): their
         #: replicas stay registered but are never chosen.
         self._down_hosts: set[NodeId] = set()
+        #: Optional liveness probe used by drop arbitration (robustness
+        #: extension): ``probe(host) -> bool`` asks whether a survivor
+        #: actually answers, catching crashed-but-not-yet-detected hosts
+        #: the ``_down_hosts`` mask misses.  ``None`` (default) trusts
+        #: the mask alone.
+        self.liveness_probe: Callable[[NodeId], bool] | None = None
         self._observers: list[ReplicaSetObserver] = []
         #: Optional :class:`~repro.obs.tracer.ProtocolTracer` receiving a
         #: ChooseReplicaRecord per Figure 2 run; ``None`` disables (one
@@ -141,6 +147,12 @@ class RedirectorService:
         """Hosts currently registered as holding ``obj``."""
         return list(self._entry(obj))
 
+    def objects_on(self, host: NodeId) -> list[ObjectId]:
+        """Objects with a registered replica on ``host`` (repair scans)."""
+        return [
+            obj for obj, replicas in self._replicas.items() if host in replicas
+        ]
+
     def replica_count(self, obj: ObjectId) -> int:
         return len(self._entry(obj))
 
@@ -205,10 +217,15 @@ class RedirectorService:
         """Arbitrate a replica drop (affinity 1 -> 0).
 
         Returns True and removes the registration if approved.  The last
-        remaining replica of an object is never approved for dropping, so
-        the object always stays available.  The registration is removed
-        *before* the host physically drops the copy, preserving the
-        subset invariant.
+        remaining *available* replica of an object is never approved for
+        dropping, so the object always stays available: survivors on
+        hosts currently masked as down do not count, and when a liveness
+        probe is wired (fault plane active) at least one survivor must
+        actually answer it — a stale up-mask on a crashed host must not
+        let the last live copy be deleted.  An unreachable survivor is
+        conservatively treated as dead (drop refused).  The registration
+        is removed *before* the host physically drops the copy,
+        preserving the subset invariant.
         """
         replicas = self._entry(obj)
         if host not in replicas:
@@ -220,6 +237,9 @@ class RedirectorService:
         ]
         if not survivors:
             # Never approve dropping the last (available) replica.
+            return False
+        probe = self.liveness_probe
+        if probe is not None and not any(probe(other) for other in survivors):
             return False
         del replicas[host]
         self._reset_counts(replicas)
@@ -237,15 +257,20 @@ class RedirectorService:
     # Request distribution (Figure 2)
     # ------------------------------------------------------------------
 
-    def choose_replica(self, gateway: NodeId, obj: ObjectId) -> NodeId | None:
+    def choose_replica(
+        self, gateway: NodeId, obj: ObjectId, *, exclude: NodeId | None = None
+    ) -> NodeId | None:
         """Pick the replica to service a request entering at ``gateway``.
 
         Returns ``None`` when every replica of the object is on a failed
         host (the request cannot be serviced until a host recovers).
+        ``exclude`` skips one host even if it looks available — used by
+        request retries under a stale view, where the redirector has not
+        yet detected that the previously chosen host is dead.
         """
         replicas = self._entry(obj)
         tracer = self.tracer
-        if len(replicas) == 1 and not self._down_hosts:
+        if len(replicas) == 1 and not self._down_hosts and exclude is None:
             # Fast path: a sole replica always wins; still counted.
             (info,) = replicas.values()
             info.request_count += 1
@@ -268,7 +293,7 @@ class RedirectorService:
         least: ReplicaInfo | None = None
         least_ratio = 0.0
         for host, info in replicas.items():
-            if host in down:
+            if host in down or host == exclude:
                 continue
             ratio = info.request_count / info.affinity
             # Equidistant replicas tie-break on unit request count: a

@@ -10,8 +10,18 @@ FailureInjector` crashes and recovers hosts on a schedule (deterministic
 or random MTBF/MTTR), the redirectors mask failed replicas without
 deregistering them, in-flight requests re-route, and requests whose every
 replica is down fail visibly.
+
+Under an active fault plane the injector stops telling the redirectors
+anything: crashes are *discovered* by the
+:class:`~repro.failures.detector.HeartbeatMonitor` (missed heartbeats
+and consecutive request failures), and the
+:class:`~repro.failures.repair.RepairDaemon` re-replicates objects whose
+last live replica sat on the crashed host, tracking per-object
+unavailability windows.
 """
 
+from repro.failures.detector import HeartbeatMonitor
 from repro.failures.injector import FailureInjector
+from repro.failures.repair import RepairDaemon
 
-__all__ = ["FailureInjector"]
+__all__ = ["FailureInjector", "HeartbeatMonitor", "RepairDaemon"]

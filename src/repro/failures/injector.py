@@ -49,9 +49,14 @@ class FailureInjector:
         host = self._system.hosts[node]
         if not host.available:
             raise ProtocolError(f"host {node} is already failed")
-        host.available = False
-        for service in self._system.redirectors.services:
-            service.set_host_available(node, False)
+        host.crash(self._sim.now)
+        if self._system.failure_detector is None:
+            # Without a failure detector the injector masks the crash
+            # synchronously (an oracle): every redirector learns at once.
+            # With a detector, redirectors only learn through missed
+            # heartbeats and request timeouts, as in a real deployment.
+            for service in self._system.redirectors.services:
+                service.set_host_available(node, False)
         self.events.append(FailureEvent(self._sim.now, node, True))
 
     def recover(self, node: NodeId) -> None:
@@ -66,8 +71,9 @@ class FailureInjector:
         host.estimator = LoadEstimator()
         host.reset_access_counts(self._sim.now)
         host.offloading = False
-        for service in self._system.redirectors.services:
-            service.set_host_available(node, True)
+        if self._system.failure_detector is None:
+            for service in self._system.redirectors.services:
+                service.set_host_available(node, True)
         self.events.append(FailureEvent(self._sim.now, node, False))
 
     # ------------------------------------------------------------------

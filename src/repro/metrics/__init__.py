@@ -16,9 +16,12 @@ produce the exact quantities Section 6.2 reports:
   (Table 2): time until bandwidth first stays within 10% of equilibrium.
 * :mod:`~repro.metrics.report` — plain-text tables and series renderers
   used by the benchmark harness.
+* :mod:`~repro.metrics.availability` — fault-plane scalars (retries,
+  detection, repair, unavailability) for runs with faults enabled.
 """
 
 from repro.metrics.adjustment import adjustment_time, equilibrium_level
+from repro.metrics.availability import fault_metrics
 from repro.metrics.bandwidth import BandwidthCollector
 from repro.metrics.collectors import BucketedSeries, TimeSeries
 from repro.metrics.latency import LatencyCollector
@@ -34,4 +37,5 @@ __all__ = [
     "ReplicaCollector",
     "adjustment_time",
     "equilibrium_level",
+    "fault_metrics",
 ]

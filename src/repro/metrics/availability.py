@@ -1,0 +1,45 @@
+"""Fault-plane metrics: retries, detection, repair, unavailability.
+
+Flattens the robustness extension's counters — the fault plane's
+drop/duplication tallies, the RPC layer's retry/timeout counters, the
+request-level loss statistics, and the failure detector's and repair
+daemon's activity — into the same JSON-safe scalar dict shape as
+:func:`repro.scenarios.runner.scenario_metrics`.  Only emitted for runs
+with an active fault plane, so fault-free metric dicts are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.types import Time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.protocol import HostingSystem
+
+
+def fault_metrics(system: "HostingSystem", until: Time) -> dict[str, float]:
+    """All fault-plane scalars for a run that ended at ``until``.
+
+    Raises if the system has no fault plane: callers gate on
+    ``system.fault_plane is not None`` so fault-free runs never grow
+    extra keys.
+    """
+    plane = system.fault_plane
+    if plane is None:
+        raise ValueError("fault_metrics requires an active fault plane")
+    metrics: dict[str, float] = {}
+    metrics.update(plane.summary())
+    metrics.update(system.rpc.summary())
+    metrics["requests_lost"] = float(system.lost_requests)
+    metrics["requests_failed"] = float(system.failed_requests)
+    metrics["requests_rerouted"] = float(system.rerouted_requests)
+    detector = system.failure_detector
+    if detector is not None:
+        metrics["failure_detections"] = float(detector.detections)
+        metrics["failure_recoveries"] = float(detector.recoveries)
+    daemon = system.repair_daemon
+    if daemon is not None:
+        metrics["repairs"] = float(daemon.repairs)
+        metrics["unavailability_seconds"] = daemon.unavailability_seconds_total(until)
+    return metrics

@@ -32,6 +32,9 @@ class LatencyCollector:
         self.dropped = 0
         #: Requests that found no available replica (failure injection).
         self.failed = 0
+        #: Requests lost in transit or to a mid-service crash (fault
+        #: plane only; always zero on a reliable network).
+        self.lost = 0
         self.completed = 0
         self.total_latency = 0.0
         self.total_response_hops = 0
@@ -42,6 +45,12 @@ class LatencyCollector:
     def _observe(self, record: RequestRecord) -> None:
         if record.failed:
             self.failed += 1
+            return
+        if record.lost:
+            # No response ever reached the client; the sample would be
+            # meaningless, so lost requests are counted but excluded
+            # from every latency statistic.
+            self.lost += 1
             return
         if record.dropped:
             self.dropped += 1

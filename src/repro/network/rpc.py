@@ -1,0 +1,298 @@
+"""Request/response messaging over the (possibly unreliable) backbone.
+
+The placement protocol's control conversations — the CreateObj handshake,
+offload-recipient probes, drop arbitration, registry notifications, load
+reports — were written against a reliable transport.  :class:`RpcLayer`
+is the thin shim that keeps them correct over a lossy one: per-attempt
+timeouts, a bounded retry budget with exponential backoff plus jitter,
+and idempotent receive handling (a retransmitted request that already
+executed is deduplicated at the receiver, which simply resends its
+response).
+
+The layer keeps the simulation's decision-time modelling (see the timing
+note in :mod:`repro.core.protocol`): a call's outcome is resolved
+synchronously while its bytes — including every retransmission — are
+charged to the backbone in full, and the accumulated latency (timeouts,
+backoff waits, message delays) is reported on the outcome for callers
+that want to model it.
+
+Reliability grades
+------------------
+``call``
+    Bounded request/response.  May fail: the caller observes
+    ``executed`` (did the request reach a live target?) and ``acked``
+    (did the caller see the response?) separately, because a lost ack
+    leaves the side effect applied at the target.
+``call(..., persistent=True)``
+    Eventually-reliable request/response for consistency-critical
+    conversations (replica-drop arbitration): retries continue past the
+    normal budget and delivery is forced at
+    :data:`~repro.network.faults.FORCED_DELIVERY_CAP` so the registry
+    invariant cannot be wedged by an adversarial loss configuration.
+``notify``
+    Eventually-reliable one-way datagram (registry notifications).
+``bulk``
+    Eventually-reliable object-copy transfer; lost rounds retransmit the
+    full payload and every round's bytes are charged (RELOCATION class).
+``oneway``
+    Best-effort datagram (load reports, heartbeats): fire and forget.
+
+With no fault plane attached every operation degenerates to exactly the
+``Network.account`` calls the protocol made before this layer existed —
+same legs, same order, same arithmetic — preserving byte-identical
+behaviour for fault-free runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.network.faults import FORCED_DELIVERY_CAP, FaultPlane
+from repro.network.message import MessageClass
+from repro.types import NodeId, Time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.network.transport import Network
+
+
+@dataclass(frozen=True, slots=True)
+class RpcOutcome:
+    """What the caller of one RPC learned.
+
+    ``executed`` — the request reached a live target (the side effect, if
+    any, was applied there).  ``acked`` — a response made it back.  A
+    lost ack is the dangerous gap between the two: the target acted but
+    the caller saw a failure.
+    """
+
+    executed: bool
+    acked: bool
+    attempts: int
+    latency: Time
+
+    @property
+    def ok(self) -> bool:
+        return self.executed and self.acked
+
+
+_RELIABLE = RpcOutcome(executed=True, acked=True, attempts=1, latency=0.0)
+
+
+class RpcLayer:
+    """Timeout/retry/dedup messaging shim over a :class:`Network`."""
+
+    def __init__(self, network: "Network", plane: FaultPlane | None = None) -> None:
+        self._network = network
+        self._plane = plane
+        #: Optional :class:`~repro.obs.tracer.ProtocolTracer` receiving an
+        #: RpcRecord per completed call while a fault plane is active.
+        self.tracer = None
+        #: Request/response calls issued (fault plane active only).
+        self.calls = 0
+        #: Extra attempts beyond each call's first (retransmissions).
+        self.retries = 0
+        #: Calls whose request never reached a live target.
+        self.timeouts = 0
+        #: Calls executed at the target whose response never came back.
+        self.lost_acks = 0
+        #: Persistent calls that hit the forced-delivery cap.
+        self.forced_deliveries = 0
+        #: Best-effort datagrams lost in transit.
+        self.oneway_dropped = 0
+        #: Retransmissions of eventually-reliable notifications.
+        self.notify_retransmits = 0
+        #: Retransmitted bulk-transfer rounds.
+        self.bulk_retransmits = 0
+
+    @property
+    def plane(self) -> FaultPlane | None:
+        return self._plane
+
+    # ------------------------------------------------------------------
+    # Request/response
+    # ------------------------------------------------------------------
+
+    def call(
+        self,
+        source: NodeId,
+        target: NodeId,
+        *,
+        request_bytes: int,
+        response_bytes: int,
+        message_class: MessageClass = MessageClass.CONTROL,
+        target_alive: bool = True,
+        persistent: bool = False,
+    ) -> RpcOutcome:
+        """One request/response conversation, with retries under faults.
+
+        ``target_alive`` is the physical truth about the receiving
+        process — a crashed host never executes or responds, so every
+        attempt times out.  (With no fault plane the parameter is
+        ignored: the legacy protocol charged both legs regardless and
+        discovered the crash inside the handler.)
+        """
+        network = self._network
+        plane = self._plane
+        if plane is None:
+            network.account(source, target, request_bytes, message_class)
+            network.account(target, source, response_bytes, message_class)
+            return _RELIABLE
+        self.calls += 1
+        config = plane.config
+        budget = FORCED_DELIVERY_CAP if persistent else config.rpc_max_attempts
+        executed = False
+        acked = False
+        attempts = 0
+        latency = 0.0
+        while attempts < budget:
+            attempts += 1
+            if attempts > 1:
+                self.retries += 1
+                backoff = config.rpc_timeout * config.rpc_backoff ** (attempts - 2)
+                backoff *= 1.0 + config.rpc_backoff_jitter * plane.backoff_jitter()
+                latency += backoff
+            _, request_delay, delivered = network.transmit(
+                source, target, request_bytes, message_class
+            )
+            if delivered and target_alive:
+                # First delivery executes; retransmissions are recognised
+                # as duplicates and only re-trigger the response.
+                executed = True
+                _, response_delay, returned = network.transmit(
+                    target, source, response_bytes, message_class
+                )
+                if returned:
+                    acked = True
+                    latency += request_delay + response_delay
+                    break
+            latency += config.rpc_timeout
+        if persistent and not acked:
+            # Consistency-critical conversations may not end ambiguous;
+            # see FORCED_DELIVERY_CAP.
+            self.forced_deliveries += 1
+            executed = executed or target_alive
+            acked = executed
+        if not executed:
+            self.timeouts += 1
+        elif not acked:
+            self.lost_acks += 1
+        self._trace(
+            source, target, message_class, attempts, executed, acked, persistent
+        )
+        return RpcOutcome(
+            executed=executed, acked=acked, attempts=attempts, latency=latency
+        )
+
+    # ------------------------------------------------------------------
+    # One-way variants
+    # ------------------------------------------------------------------
+
+    def oneway(
+        self,
+        source: NodeId,
+        target: NodeId,
+        size: int,
+        message_class: MessageClass = MessageClass.CONTROL,
+    ) -> bool:
+        """Best-effort datagram; returns whether it was delivered."""
+        if self._plane is None:
+            self._network.account(source, target, size, message_class)
+            return True
+        _, _, delivered = self._network.transmit(source, target, size, message_class)
+        if not delivered:
+            self.oneway_dropped += 1
+        return delivered
+
+    def notify(
+        self,
+        source: NodeId,
+        target: NodeId,
+        size: int,
+        message_class: MessageClass = MessageClass.CONTROL,
+    ) -> int:
+        """Eventually-reliable one-way datagram; returns attempts used.
+
+        Used for registry notifications, whose loss would desynchronise
+        the redirector's replica view from the hosts' stores.
+        """
+        if self._plane is None:
+            self._network.account(source, target, size, message_class)
+            return 1
+        attempts = 0
+        while attempts < FORCED_DELIVERY_CAP:
+            attempts += 1
+            _, _, delivered = self._network.transmit(
+                source, target, size, message_class
+            )
+            if delivered:
+                break
+        else:
+            self.forced_deliveries += 1
+        self.notify_retransmits += attempts - 1
+        return attempts
+
+    def bulk(self, source: NodeId, target: NodeId, size: int) -> int:
+        """Eventually-reliable object-copy transfer; returns rounds used.
+
+        Every round — including failed ones — charges the full payload to
+        the backbone: a lost transfer round is retransmitted wholesale.
+        """
+        if self._plane is None:
+            self._network.account(source, target, size, MessageClass.RELOCATION)
+            return 1
+        rounds = 0
+        while rounds < FORCED_DELIVERY_CAP:
+            rounds += 1
+            _, _, delivered = self._network.transmit(
+                source, target, size, MessageClass.RELOCATION
+            )
+            if delivered:
+                break
+        else:
+            self.forced_deliveries += 1
+        self.bulk_retransmits += rounds - 1
+        return rounds
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def _trace(
+        self,
+        source: NodeId,
+        target: NodeId,
+        message_class: MessageClass,
+        attempts: int,
+        executed: bool,
+        acked: bool,
+        persistent: bool,
+    ) -> None:
+        if self.tracer is None:
+            return
+        from repro.obs.records import RpcRecord
+
+        self.tracer.record(
+            RpcRecord(
+                source=source,
+                target=target,
+                message_class=message_class.value,
+                attempts=attempts,
+                executed=executed,
+                acked=acked,
+                persistent=persistent,
+            )
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Counter snapshot for metrics export."""
+        return {
+            "rpc_calls": float(self.calls),
+            "rpc_retries": float(self.retries),
+            "rpc_timeouts": float(self.timeouts),
+            "rpc_lost_acks": float(self.lost_acks),
+            "rpc_forced_deliveries": float(self.forced_deliveries),
+            "oneway_dropped": float(self.oneway_dropped),
+            "notify_retransmits": float(self.notify_retransmits),
+            "bulk_retransmits": float(self.bulk_retransmits),
+        }

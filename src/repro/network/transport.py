@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.network.faults import FaultPlane
 from repro.network.link import Link
 from repro.network.message import MessageClass
 from repro.routing.routes_db import RoutingDatabase
@@ -77,6 +78,11 @@ class Network:
         #: every send is offered via ``record_message`` (the tracer
         #: filters by message class before building a record).
         self.tracer: Any | None = None
+        #: Optional :class:`~repro.network.faults.FaultPlane`.  ``None``
+        #: (the default) is the reliable backbone: :meth:`transmit` then
+        #: takes exactly the :meth:`account` code path, so fault-free
+        #: runs stay byte-identical to the pre-fault transport.
+        self.faults: FaultPlane | None = None
         self._links: dict[tuple[NodeId, NodeId], Link] | None = None
         if track_links:
             self._links = {
@@ -159,6 +165,39 @@ class Network:
     ) -> tuple[int, Time]:
         """Accounting-only variant of :meth:`send` (no event scheduled)."""
         return self.send(source, target, size, message_class, None)
+
+    def transmit(
+        self,
+        source: NodeId,
+        target: NodeId,
+        size: int,
+        message_class: MessageClass,
+    ) -> tuple[int, Time, bool]:
+        """Transmit one message subject to the attached fault plane.
+
+        Returns ``(hops, delay, delivered)``.  With no fault plane this
+        is :meth:`account` plus ``delivered=True`` — same accounting,
+        same arithmetic.  Under faults the message may be dropped (bytes
+        still charged: it was transmitted and lost en route), duplicated
+        (bytes charged twice) or jittered (``delay`` grows).  Local
+        delivery (zero hops) crosses no links and cannot be dropped.
+        """
+        hops = self._routes.distance(source, target)
+        delay = self.delay(hops, size)
+        faults = self.faults
+        if faults is None or hops == 0:
+            self._account(source, target, hops, size, message_class)
+            return hops, delay, True
+        verdict = faults.transit(
+            source,
+            target,
+            message_class,
+            delay,
+            lambda: self._routes.route(source, target),
+        )
+        for _ in range(verdict.copies):
+            self._account(source, target, hops, size, message_class)
+        return hops, delay + verdict.extra_delay, not verdict.dropped
 
     def _account(
         self,

@@ -16,6 +16,13 @@ paper's figures reason about:
   control plane; see :class:`~repro.obs.tracer.DecisionTracer`).
 * :class:`SimRunRecord` — one :meth:`Simulator.run` span, with the
   events-fired count and wall-clock duration (the simulator timing hook).
+* :class:`RpcRecord` — one control RPC under an active fault plane, with
+  its attempt count and executed/acked fate.
+* :class:`FailureDetectRecord` — one failure-detector verdict (a host
+  marked down via missed heartbeats or request timeouts, or back up).
+* :class:`RepairRecord` — one repair-daemon re-replication of an object
+  whose last live copy sat on a crashed host, with its unavailability
+  window.
 
 Every record carries a ``kind`` tag (class-level, stable — it is the
 JSONL discriminator), a simulated ``time`` stamp and a global ``seq``
@@ -38,6 +45,9 @@ RECORD_KINDS = (
     "offload",
     "message",
     "sim-run",
+    "rpc",
+    "failure-detect",
+    "repair",
 )
 
 
@@ -170,5 +180,64 @@ class SimRunRecord:
     events_fired: int
     #: Wall-clock seconds the run took.
     wall_seconds: float
+    time: Time = 0.0
+    seq: int = 0
+
+
+@dataclass(slots=True)
+class RpcRecord:
+    """One control RPC conversation under an active fault plane."""
+
+    kind: ClassVar[str] = "rpc"
+
+    source: NodeId
+    target: NodeId
+    #: The :class:`~repro.network.message.MessageClass` value string.
+    message_class: str
+    #: Total request transmissions, including the first.
+    attempts: int
+    #: Whether the request reached a live target (side effect applied).
+    executed: bool
+    #: Whether the caller saw a response.  ``executed and not acked`` is
+    #: a lost ack: the target acted but the caller observed a failure.
+    acked: bool
+    #: Whether the call was eventually-reliable (drop arbitration).
+    persistent: bool = False
+    time: Time = 0.0
+    seq: int = 0
+
+
+@dataclass(slots=True)
+class FailureDetectRecord:
+    """One failure-detector verdict about one host."""
+
+    kind: ClassVar[str] = "failure-detect"
+
+    node: NodeId
+    #: True when the host was marked down, False when marked back up.
+    down: bool
+    #: "heartbeat" (missed-heartbeat deadline), "request-failures"
+    #: (consecutive request timeouts) or "recovery" (heartbeat from a
+    #: down-marked host).
+    reason: str
+    #: When the monitor last heard from the host (down verdicts only).
+    last_seen: Time | None = None
+    time: Time = 0.0
+    seq: int = 0
+
+
+@dataclass(slots=True)
+class RepairRecord:
+    """One repair-daemon re-replication of an unavailable object."""
+
+    kind: ClassVar[str] = "repair"
+
+    obj: ObjectId
+    #: The host that received the restored replica.
+    target: NodeId
+    #: The node whose stable store supplied the bytes.
+    origin: NodeId
+    #: Seconds the object had zero live replicas before this repair.
+    unavailable_seconds: float
     time: Time = 0.0
     seq: int = 0

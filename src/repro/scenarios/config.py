@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import ProtocolConfig
 from repro.errors import ConfigurationError
+from repro.network.faults import FaultConfig
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,6 +57,9 @@ class ScenarioConfig:
     traced: bool = False
     #: Per-kind ring capacity of the auto-attached tracer.
     trace_capacity: int = 65_536
+    #: Network fault model (robustness extension).  Disabled by default,
+    #: which keeps the run byte-identical to the reliable simulator.
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def __post_init__(self) -> None:
         if self.duration <= 0:

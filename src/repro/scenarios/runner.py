@@ -17,11 +17,14 @@ from repro.baselines.round_robin import RoundRobinRedirector
 from repro.core.protocol import HostingSystem
 from repro.core.redirector import RedirectorService
 from repro.errors import ConfigurationError
+from repro.failures.injector import FailureInjector
 from repro.metrics.adjustment import adjustment_time, equilibrium_level
+from repro.metrics.availability import fault_metrics
 from repro.metrics.bandwidth import BandwidthCollector
 from repro.metrics.latency import LatencyCollector
 from repro.metrics.loadstats import LoadCollector
 from repro.metrics.replicas import ReplicaCollector
+from repro.network.faults import FaultPlane
 from repro.network.transport import Network
 from repro.obs.tracer import DecisionTracer
 from repro.routing.routes_db import RoutingDatabase
@@ -91,6 +94,11 @@ def build_system(
         bandwidth=config.bandwidth,
         track_links=config.track_links,
     )
+    fault_plane = None
+    if config.faults.enabled:
+        fault_plane = FaultPlane(
+            config.faults, RngFactory(config.seed).stream("faults")
+        )
     system = HostingSystem(
         sim,
         network,
@@ -100,6 +108,7 @@ def build_system(
         capacity=config.capacity,
         redirector_factory=_DISTRIBUTION_FACTORIES[config.distribution],
         enable_placement=config.dynamic,
+        fault_plane=fault_plane,
     )
     if tracer is None and config.traced:
         tracer = DecisionTracer(capacity=config.trace_capacity)
@@ -123,6 +132,9 @@ class ScenarioResult:
     replicas: ReplicaCollector
     #: The attached :class:`DecisionTracer` (None when the run was untraced).
     trace: DecisionTracer | None = None
+    #: The failure injector that drove scheduled outages (None unless the
+    #: scenario's fault config scheduled any).
+    injector: FailureInjector | None = None
 
     # -- Figure 6 -------------------------------------------------------
 
@@ -274,6 +286,14 @@ def scenario_metrics(result: ScenarioResult) -> dict[str, float]:
             metrics[name] = compute()
         except ConfigurationError:
             pass
+    if result.system.fault_plane is not None:
+        # Fault-plane scalars only exist on faulted runs, so fault-free
+        # metric dicts (and their spec hashes / baselines) are unchanged.
+        metrics.update(fault_metrics(result.system, result.config.duration))
+        if result.injector is not None:
+            metrics["host_failures"] = float(
+                sum(1 for e in result.injector.events if e.failed)
+            )
     return metrics
 
 
@@ -300,6 +320,19 @@ def run_scenario(
     )
     loads = LoadCollector(system)
     replicas = ReplicaCollector(system, sample_interval=config.bucket)
+    faults = config.faults
+    injector: FailureInjector | None = None
+    if faults.enabled and (faults.outages or faults.mtbf is not None):
+        injector = FailureInjector(sim, system)
+        for node, at, outage_duration in faults.outages:
+            injector.schedule_outage(node, at, outage_duration)
+        if faults.mtbf is not None and faults.mttr is not None:
+            injector.schedule_random_outages(
+                RngFactory(config.seed).stream("outages"),
+                mtbf=faults.mtbf,
+                mttr=faults.mttr,
+                horizon=config.duration,
+            )
     system.start()
     generators = attach_generators(
         sim,
@@ -324,4 +357,5 @@ def run_scenario(
         loads=loads,
         replicas=replicas,
         trace=system.tracer,
+        injector=injector,
     )

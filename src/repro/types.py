@@ -37,11 +37,14 @@ class PlacementReason(enum.Enum):
 
     An object is *geo*-migrated/replicated when moved for proximity to
     client requests, and *load*-migrated/replicated when moved because the
-    source host is offloading.
+    source host is offloading.  *Repair* replications (robustness
+    extension) restore an object whose last live replica sat on a
+    crashed host.
     """
 
     GEO = "geo"
     LOAD = "load"
+    REPAIR = "repair"
 
 
 @dataclass(frozen=True, slots=True)
@@ -85,6 +88,13 @@ class RequestRecord:
     #: True when no available replica existed (every replica's host was
     #: failed); the request could not be serviced at all.
     failed: bool = False
+    #: True when the request or its response was lost in transit (network
+    #: faults), or the serving host crashed mid-service: the client never
+    #: saw an answer.
+    lost: bool = False
+    #: How many times the request was re-routed to an alternate replica
+    #: after its chosen host turned out dead or replica-less.
+    retries: int = 0
 
     @property
     def latency(self) -> Time:

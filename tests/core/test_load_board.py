@@ -1,6 +1,10 @@
 """Unit tests for the load-report board."""
 
+import pytest
+
+from repro.core.config import ProtocolConfig
 from repro.core.load_board import LoadReportBoard
+from repro.errors import ConfigurationError
 
 
 def test_reports_overwrite_by_node():
@@ -32,3 +36,51 @@ def test_candidates_full_listing():
     board.report(2, 2.0, 0.0)
     assert board.candidates(exclude=1) == [(2, 2.0)]
     assert board.candidates(exclude=9) == [(2, 2.0), (1, 5.0)]
+
+
+def test_expired_reports_filtered_from_queries():
+    board = LoadReportBoard(expiry=60.0)
+    board.report(1, 2.0, 0.0)  # stale: e.g. a crashed host's last report
+    board.report(2, 5.0, 80.0)  # fresh
+    assert board.candidates(exclude=None, now=100.0) == [(2, 5.0)]
+    assert board.candidates_below(8.0, exclude=None, now=100.0) == [2]
+    # A report exactly at the expiry horizon still counts.
+    assert board.candidates(exclude=None, now=60.0) == [(1, 2.0), (2, 5.0)]
+
+
+def test_queries_without_now_never_filter():
+    board = LoadReportBoard(expiry=60.0)
+    board.report(1, 2.0, 0.0)
+    assert board.candidates(exclude=None) == [(1, 2.0)]
+    assert board.candidates_below(8.0, exclude=None) == [1]
+
+
+def test_no_expiry_board_never_filters():
+    board = LoadReportBoard()
+    board.report(1, 2.0, 0.0)
+    assert board.candidates(exclude=None, now=1e9) == [(1, 2.0)]
+
+
+def test_fresh_report_restores_candidacy():
+    board = LoadReportBoard(expiry=60.0)
+    board.report(1, 2.0, 0.0)
+    assert board.candidates(exclude=None, now=100.0) == []
+    board.report(1, 3.0, 90.0)
+    assert board.candidates(exclude=None, now=100.0) == [(1, 3.0)]
+    assert board.report_time(1) == 90.0
+
+
+def test_expiry_validation():
+    with pytest.raises(ConfigurationError):
+        LoadReportBoard(expiry=0.0)
+    with pytest.raises(ConfigurationError):
+        LoadReportBoard(expiry=-5.0)
+
+
+def test_protocol_config_expiry_intervals_validated():
+    # At least 2 intervals: a healthy host's newest report can be one
+    # interval old, so 1 would filter live hosts in fault-free runs.
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(report_expiry_intervals=1)
+    assert ProtocolConfig(report_expiry_intervals=2).report_expiry_intervals == 2
+    assert ProtocolConfig(report_expiry_intervals=None).report_expiry_intervals is None

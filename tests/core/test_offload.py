@@ -35,9 +35,12 @@ def saturate(system, *, load=25.0, per_object=None, expect_offloading=True):
         assert host.offloading
 
 
-def report_idle(system, nodes, load=2.0):
+def report_idle(system, nodes, load=2.0, at=100.0):
+    # Reports are stamped at the offload time: the board now expires
+    # reports older than report_expiry_intervals measurement intervals,
+    # and these tests model recipients that are *currently* idle.
     for node in nodes:
-        system.board.report(node, load, 0.0)
+        system.board.report(node, load, at)
         system.hosts[node].estimator.on_measurement(load, 0.0)
 
 

@@ -283,3 +283,68 @@ def test_distribution_constant_must_exceed_one():
     routes = RoutingDatabase(line_topology(2))
     with pytest.raises(ProtocolError):
         RedirectorService(0, routes, distribution_constant=1.0)
+
+
+# ----------------------------------------------------------------------
+# Robustness extension: drop arbitration over live hosts, retry exclude
+# ----------------------------------------------------------------------
+
+
+def test_drop_arbitration_counts_only_available_survivors(redirector):
+    redirector.set_host_available(EUROPE_HOST, False)
+    # The only survivor besides AMERICA_HOST is masked down: the drop
+    # must be refused even though another registration exists.
+    assert not redirector.request_drop(0, AMERICA_HOST)
+    redirector.set_host_available(EUROPE_HOST, True)
+    assert redirector.request_drop(0, AMERICA_HOST)
+
+
+def test_drop_arbitration_probes_survivor_liveness(redirector):
+    alive = {AMERICA_HOST: True, EUROPE_HOST: True}
+    probed = []
+
+    def probe(host):
+        probed.append(host)
+        return alive[host]
+
+    redirector.liveness_probe = probe
+    # The survivor answers: drop approved.
+    assert redirector.request_drop(0, AMERICA_HOST)
+    assert probed == [EUROPE_HOST]
+    # Re-register, then crash the survivor without updating the mask (a
+    # stale view): the probe catches it and the drop is refused.
+    redirector.replica_created(0, AMERICA_HOST, 1)
+    alive[EUROPE_HOST] = False
+    assert not redirector.request_drop(0, AMERICA_HOST)
+
+
+def test_drop_arbitration_probe_short_circuits(redirector):
+    redirector.replica_created(0, 2, 1)
+    probed = []
+
+    def probe(host):
+        probed.append(host)
+        return True
+
+    redirector.liveness_probe = probe
+    assert redirector.request_drop(0, AMERICA_HOST)
+    # any() stops at the first live survivor: one probe round trip.
+    assert len(probed) == 1
+
+
+def test_choose_replica_excludes_retried_host(redirector):
+    # A retry against a stale view must not re-select the dead host.
+    chosen = redirector.choose_replica(AMERICA_GW, 0, exclude=AMERICA_HOST)
+    assert chosen == EUROPE_HOST
+    # Excluding every replica leaves nothing to choose.
+    redirector.set_host_available(EUROPE_HOST, False)
+    assert redirector.choose_replica(AMERICA_GW, 0, exclude=AMERICA_HOST) is None
+
+
+def test_sole_replica_excluded_returns_none(redirector):
+    service = RedirectorService(0, RoutingDatabase(line_topology(3)))
+    service.register_initial(5, 1)
+    # The sole-replica fast path must not fire when that replica is the
+    # excluded (just-failed) host.
+    assert service.choose_replica(0, 5, exclude=1) is None
+    assert service.choose_replica(0, 5) == 1

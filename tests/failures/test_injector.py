@@ -146,6 +146,48 @@ def test_system_survives_failures_under_load(setup):
     system.check_invariants()
 
 
+def test_crash_loses_queued_work(setup):
+    """Requests admitted to a host's queue die with the host."""
+    sim, system, injector = setup
+    host = system.hosts[1]
+    # Stack half a second of work for object 1 (sole replica on host 1,
+    # service time 5 ms) and crash the host while most of it is queued.
+    submitted = [system.submit_request(0, 1) for _ in range(100)]
+    sim.schedule_at(0.1, injector.fail, 1)
+    sim.run()
+    lost = [r for r in submitted if r.lost]
+    serviced = [r for r in submitted if not r.lost and not r.failed]
+    assert serviced  # work completed before the crash was answered
+    assert lost  # everything still queued at the crash died with it
+    assert system.lost_requests == len(lost)
+    assert all(r.completed_at is not None for r in submitted)
+    # The queue is gone: recovery starts cold, with no phantom backlog.
+    injector.recover(1)
+    assert host.queue_depth(sim.now) == 0.0
+
+
+def test_cold_recovery_rebuilds_load_metrics(setup):
+    sim, system, injector = setup
+    host = system.hosts[1]
+    # Give the host measurable pre-crash state.
+    host.estimator.on_measurement(42.0, 0.0)
+    host.meter.record_service(1)
+    host.record_service(1, (1, 0))
+    host.offloading = True
+    injector.fail(1)
+    sim.run(until=10.0)
+    injector.recover(1)
+    assert host.available
+    assert host.upper_load == 0.0
+    assert host.lower_load == 0.0
+    assert not host.offloading
+    assert host.object_access_counts(1) == {}
+    # The first post-recovery measurement interval rebuilds the metrics.
+    host.meter.record_service(1)
+    host.measure(sim.now + 20.0)
+    assert host.measured_load > 0.0
+
+
 def test_outage_validation(setup):
     _, _, injector = setup
     with pytest.raises(ProtocolError):

@@ -1,0 +1,128 @@
+"""Unit tests for the network fault model (FaultConfig / FaultPlane)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.faults import FaultConfig, FaultPlane
+from repro.network.message import MessageClass
+from repro.sim.engine import Simulator
+
+
+def plane(config=None, seed=7):
+    return FaultPlane(config or FaultConfig(enabled=True), random.Random(seed))
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        FaultConfig(drop_prob=1.5)
+    with pytest.raises(ConfigurationError):
+        FaultConfig(drop_prob_request=-0.1)
+    with pytest.raises(ConfigurationError):
+        FaultConfig(delay_jitter=-1.0)
+    with pytest.raises(ConfigurationError):
+        FaultConfig(rpc_max_attempts=0)
+    with pytest.raises(ConfigurationError):
+        FaultConfig(rpc_backoff=0.5)
+    with pytest.raises(ConfigurationError):
+        FaultConfig(mtbf=100.0)  # mttr missing
+    with pytest.raises(ConfigurationError):
+        FaultConfig(outages=((0, -1.0, 5.0),))
+    with pytest.raises(ConfigurationError):
+        FaultConfig(outages=((0, 1.0, 0.0),))
+
+
+def test_drop_for_class_overrides():
+    config = FaultConfig(drop_prob=0.1, drop_prob_relocation=0.5)
+    assert config.drop_for(MessageClass.CONTROL) == 0.1
+    assert config.drop_for(MessageClass.REQUEST) == 0.1
+    assert config.drop_for(MessageClass.RELOCATION) == 0.5
+
+
+def test_transit_deterministic_per_seed():
+    def history(seed):
+        p = plane(FaultConfig(enabled=True, drop_prob=0.3), seed=seed)
+        return [
+            p.transit(0, 1, MessageClass.CONTROL, 0.01, lambda: [0, 1]).dropped
+            for _ in range(200)
+        ]
+
+    assert history(11) == history(11)
+    assert history(11) != history(12)
+
+
+def test_transit_counts_drops_per_class():
+    p = plane(FaultConfig(enabled=True, drop_prob=1.0))
+    p.transit(0, 1, MessageClass.CONTROL, 0.0, lambda: [0, 1])
+    p.transit(0, 1, MessageClass.REQUEST, 0.0, lambda: [0, 1])
+    assert p.dropped[MessageClass.CONTROL] == 1
+    assert p.dropped[MessageClass.REQUEST] == 1
+    assert p.total_dropped() == 2
+    assert p.summary()["messages_dropped"] == 2.0
+
+
+def test_duplication_charges_two_copies():
+    p = plane(FaultConfig(enabled=True, duplicate_prob=1.0))
+    verdict = p.transit(0, 1, MessageClass.CONTROL, 0.0, lambda: [0, 1])
+    assert not verdict.dropped
+    assert verdict.copies == 2
+    assert p.duplicated == 1
+
+
+def test_jitter_bounded_by_fraction_of_delay():
+    p = plane(FaultConfig(enabled=True, delay_jitter=0.5))
+    for _ in range(100):
+        verdict = p.transit(0, 1, MessageClass.CONTROL, 1.0, lambda: [0, 1])
+        assert 0.0 <= verdict.extra_delay <= 0.5
+
+
+def test_link_outage_drops_crossing_messages():
+    p = plane()
+    p.fail_link(1, 2)
+    verdict = p.transit(0, 3, MessageClass.CONTROL, 0.0, lambda: [0, 1, 2, 3])
+    assert verdict.dropped
+    assert p.link_drops == 1
+    # A route avoiding the failed link is unaffected.
+    ok = p.transit(0, 1, MessageClass.CONTROL, 0.0, lambda: [0, 1])
+    assert not ok.dropped
+    p.restore_link(1, 2)
+    ok = p.transit(0, 3, MessageClass.CONTROL, 0.0, lambda: [0, 1, 2, 3])
+    assert not ok.dropped
+
+
+def test_link_outage_reference_counted():
+    p = plane()
+    p.fail_link(1, 2)
+    p.fail_link(2, 1)  # overlapping second outage, either orientation
+    p.restore_link(1, 2)
+    assert p.has_topology_faults
+    p.restore_link(1, 2)
+    assert not p.has_topology_faults
+    with pytest.raises(ConfigurationError):
+        p.restore_link(1, 2)
+
+
+def test_partition_drops_boundary_crossings_only():
+    p = plane()
+    group = p.start_partition([0, 1])
+    assert p.transit(0, 2, MessageClass.CONTROL, 0.0, lambda: [0, 2]).dropped
+    assert not p.transit(0, 1, MessageClass.CONTROL, 0.0, lambda: [0, 1]).dropped
+    assert not p.transit(2, 3, MessageClass.CONTROL, 0.0, lambda: [2, 3]).dropped
+    p.heal_partition(group)
+    assert not p.transit(0, 2, MessageClass.CONTROL, 0.0, lambda: [0, 2]).dropped
+    with pytest.raises(ConfigurationError):
+        p.heal_partition(group)
+
+
+def test_scheduled_link_outage_and_partition():
+    sim = Simulator()
+    p = plane()
+    p.schedule_link_outage(sim, 0, 1, at=10.0, duration=5.0)
+    p.schedule_partition(sim, [3], at=10.0, duration=5.0)
+    sim.run(until=12.0)
+    assert p.transit(0, 1, MessageClass.CONTROL, 0.0, lambda: [0, 1]).dropped
+    assert p.transit(2, 3, MessageClass.CONTROL, 0.0, lambda: [2, 3]).dropped
+    sim.run(until=16.0)
+    assert not p.transit(0, 1, MessageClass.CONTROL, 0.0, lambda: [0, 1]).dropped
+    assert not p.transit(2, 3, MessageClass.CONTROL, 0.0, lambda: [2, 3]).dropped

@@ -1,0 +1,145 @@
+"""Unit tests for the RPC layer (timeouts, retries, dedup semantics)."""
+
+import random
+
+from repro.network.faults import FORCED_DELIVERY_CAP, FaultConfig, FaultPlane
+from repro.network.message import MessageClass
+from repro.network.rpc import RpcLayer
+from repro.network.transport import Network
+from repro.routing.routes_db import RoutingDatabase
+from repro.sim.engine import Simulator
+from repro.topology.generators import line_topology
+
+
+def build(config=None, seed=3):
+    sim = Simulator()
+    network = Network(sim, RoutingDatabase(line_topology(4)))
+    plane = None
+    if config is not None:
+        plane = FaultPlane(config, random.Random(seed))
+        network.faults = plane
+    return network, RpcLayer(network, plane)
+
+
+def test_no_plane_is_pure_accounting():
+    """Without a fault plane a call is exactly the two legacy datagrams."""
+    reference, _ = build()
+    reference.account(0, 2, 100, MessageClass.CONTROL)
+    reference.account(2, 0, 100, MessageClass.CONTROL)
+
+    network, rpc = build()
+    outcome = rpc.call(0, 2, request_bytes=100, response_bytes=100)
+    assert outcome.ok
+    assert outcome.attempts == 1
+    assert outcome.latency == 0.0
+    assert network.total_byte_hops() == reference.total_byte_hops()
+    assert rpc.calls == 0  # counters untouched on the reliable path
+    assert rpc.oneway(0, 2, 50) is True
+    assert rpc.notify(0, 2, 50) == 1
+    assert rpc.bulk(0, 2, 5000) == 1
+
+
+def test_reliable_plane_single_attempt():
+    _, rpc = build(FaultConfig(enabled=True, drop_prob=0.0))
+    outcome = rpc.call(0, 2, request_bytes=100, response_bytes=100)
+    assert outcome.ok
+    assert outcome.attempts == 1
+    assert rpc.calls == 1
+    assert rpc.retries == 0
+
+
+def test_lossy_call_retries_until_delivered():
+    config = FaultConfig(enabled=True, drop_prob=0.6, rpc_max_attempts=10)
+    _, rpc = build(config, seed=5)
+    outcomes = [
+        rpc.call(0, 2, request_bytes=100, response_bytes=100) for _ in range(50)
+    ]
+    assert any(o.attempts > 1 for o in outcomes)
+    assert rpc.retries > 0
+    # Retried calls accumulate timeout + backoff latency.
+    retried = next(o for o in outcomes if o.attempts > 1)
+    assert retried.latency >= config.rpc_timeout
+
+
+def test_dead_target_times_out():
+    _, rpc = build(FaultConfig(enabled=True, drop_prob=0.0, rpc_max_attempts=3))
+    outcome = rpc.call(0, 2, request_bytes=10, response_bytes=10, target_alive=False)
+    assert not outcome.executed
+    assert not outcome.acked
+    assert outcome.attempts == 3
+    assert rpc.timeouts == 1
+
+
+def test_lost_ack_reports_executed_not_acked():
+    # With heavy loss and a tight attempt budget, some calls deliver the
+    # request (the target executes) but never get a response back — the
+    # dangerous executed-but-not-acked gap the counters must expose.
+    config = FaultConfig(enabled=True, drop_prob=0.5, rpc_max_attempts=2)
+    _, rpc = build(config, seed=1)
+    outcomes = [
+        rpc.call(0, 2, request_bytes=10, response_bytes=10) for _ in range(200)
+    ]
+    lost_acks = [o for o in outcomes if o.executed and not o.acked]
+    assert lost_acks
+    assert rpc.lost_acks == len(lost_acks)
+    assert rpc.timeouts == sum(1 for o in outcomes if not o.executed)
+
+
+def test_persistent_call_forces_delivery_under_total_loss():
+    _, rpc = build(FaultConfig(enabled=True, drop_prob=1.0))
+    outcome = rpc.call(
+        0, 2, request_bytes=10, response_bytes=10, persistent=True
+    )
+    assert outcome.ok  # forced: consistency-critical paths never wedge
+    assert outcome.attempts == FORCED_DELIVERY_CAP
+    assert rpc.forced_deliveries == 1
+
+
+def test_persistent_call_against_dead_target_fails_cleanly():
+    _, rpc = build(FaultConfig(enabled=True, drop_prob=1.0))
+    outcome = rpc.call(
+        0, 2, request_bytes=10, response_bytes=10,
+        persistent=True, target_alive=False,
+    )
+    assert not outcome.executed  # a crashed process cannot be forced
+
+
+def test_notify_and_bulk_retransmit_and_charge_every_round():
+    config = FaultConfig(enabled=True, drop_prob=0.7)
+    network, rpc = build(config, seed=9)
+    baseline = network.total_byte_hops()
+    attempts = rpc.notify(0, 2, 100)
+    assert attempts >= 1
+    assert rpc.notify_retransmits == attempts - 1
+    charged = network.total_byte_hops() - baseline
+    # Every round's bytes cross the backbone (2 hops on the line).
+    assert charged == attempts * 100 * 2
+
+    before = network.total_byte_hops()
+    rounds = rpc.bulk(0, 2, 1000)
+    assert network.total_byte_hops() - before == rounds * 1000 * 2
+    assert rpc.bulk_retransmits == rounds - 1
+
+
+def test_oneway_loss_counted():
+    _, rpc = build(FaultConfig(enabled=True, drop_prob=1.0))
+    assert rpc.oneway(0, 2, 10) is False
+    assert rpc.oneway_dropped == 1
+
+
+def test_summary_exports_all_counters():
+    _, rpc = build(FaultConfig(enabled=True, drop_prob=0.5), seed=2)
+    for _ in range(10):
+        rpc.call(0, 2, request_bytes=10, response_bytes=10)
+    summary = rpc.summary()
+    assert set(summary) == {
+        "rpc_calls",
+        "rpc_retries",
+        "rpc_timeouts",
+        "rpc_lost_acks",
+        "rpc_forced_deliveries",
+        "oneway_dropped",
+        "notify_retransmits",
+        "bulk_retransmits",
+    }
+    assert summary["rpc_calls"] == 10.0

@@ -2,9 +2,15 @@
 
 
 from repro.baselines.round_robin import RoundRobinRedirector
+from repro.network.faults import FaultConfig
 from repro.scenarios.config import ScenarioConfig
 from repro.scenarios.presets import paper_scenario
-from repro.scenarios.runner import build_system, make_workload, run_scenario
+from repro.scenarios.runner import (
+    build_system,
+    make_workload,
+    run_scenario,
+    scenario_metrics,
+)
 from repro.sim.rng import RngFactory
 from repro.topology.generators import two_cluster_topology
 from repro.topology.uunet import uunet_backbone
@@ -71,3 +77,60 @@ def test_result_statistics_available():
     assert result.overhead_fraction_fullscale() <= result.overhead_fraction()
     assert result.max_load() >= result.max_load_settled() * 0.0
     assert result.latency_equilibrium() > 0
+
+
+def test_fault_free_metrics_have_no_fault_keys():
+    result = run_scenario(tiny_config())
+    assert result.system.fault_plane is None
+    assert result.injector is None
+    metrics = scenario_metrics(result)
+    assert not any(k.startswith("rpc_") for k in metrics)
+    assert "unavailability_seconds" not in metrics
+    assert "host_failures" not in metrics
+
+
+def faulted_config(**overrides):
+    faults = FaultConfig(
+        enabled=True,
+        drop_prob=0.05,
+        delay_jitter=0.2,
+        heartbeat_miss_threshold=2,
+        repair_interval=10.0,
+        outages=((3, 30.0, 60.0),),
+        **overrides,
+    )
+    return tiny_config(faults=faults)
+
+
+def test_faulted_scenario_end_to_end():
+    result = run_scenario(faulted_config())
+    assert result.system.fault_plane is not None
+    assert result.injector is not None
+    metrics = scenario_metrics(result)
+    # The outage was detected, repaired, and accounted for.
+    assert metrics["host_failures"] == 1.0
+    assert metrics["failure_detections"] >= 1.0
+    assert metrics["failure_recoveries"] >= 1.0
+    assert metrics["repairs"] > 0.0
+    assert metrics["unavailability_seconds"] > 0.0
+    # Message loss drove retries, and the system kept serving.
+    assert metrics["rpc_retries"] > 0.0
+    assert metrics["messages_dropped"] > 0.0
+    assert result.latency.completed > 1000
+    result.system.check_invariants()
+
+
+def test_faulted_scenario_is_deterministic():
+    a = scenario_metrics(run_scenario(faulted_config()))
+    b = scenario_metrics(run_scenario(faulted_config()))
+    assert a == b
+
+
+def test_random_outages_driven_by_config():
+    config = tiny_config(
+        faults=FaultConfig(enabled=True, mtbf=60.0, mttr=15.0)
+    )
+    result = run_scenario(config)
+    assert result.injector is not None
+    metrics = scenario_metrics(result)
+    assert metrics["host_failures"] >= 1.0

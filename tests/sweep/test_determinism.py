@@ -13,6 +13,7 @@ import multiprocessing
 
 import pytest
 
+from repro.network.faults import FaultConfig
 from repro.scenarios.config import ScenarioConfig
 from repro.scenarios.runner import run_scenario_metrics
 from repro.sweep import SweepSpec, run_sweep
@@ -65,3 +66,44 @@ def test_derived_seeds_applied_to_runs(spec):
     from repro.sim.rng import derive_seed
 
     assert [run.seed for run in spec.runs()] == [derive_seed(7, 0), derive_seed(7, 1)]
+
+
+@pytest.fixture(scope="module")
+def faulted_spec(spec):
+    """The determinism spec with message loss and random outages on."""
+    base = spec.base.replace(
+        faults=FaultConfig(
+            enabled=True,
+            drop_prob=0.02,
+            delay_jitter=0.2,
+            mtbf=40.0,
+            mttr=10.0,
+        )
+    )
+    return SweepSpec(base=base, num_seeds=2, root_seed=7, name="faulted")
+
+
+@pytest.fixture(scope="module")
+def faulted_serial(faulted_spec):
+    return run_sweep(faulted_spec, workers=1)
+
+
+def test_faulted_runs_actually_exercise_the_fault_plane(faulted_serial):
+    for record in faulted_serial.records:
+        assert record.status == "ok"
+        assert record.metrics["rpc_retries"] > 0
+        assert record.metrics["host_failures"] > 0
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+def test_faulted_sweep_deterministic_across_worker_pool(
+    faulted_spec, faulted_serial
+):
+    # schedule_random_outages and every fault-plane coin flip draw from
+    # per-run seeded streams, so a parallel sweep is bit-identical to
+    # the serial one even with faults enabled.
+    parallel = run_sweep(faulted_spec, workers=2)
+    assert parallel.spec_hash == faulted_serial.spec_hash
+    assert [r.metrics for r in parallel.records] == [
+        r.metrics for r in faulted_serial.records
+    ]

@@ -1,41 +1,53 @@
-"""Command-line interface: ``python -m repro``.
+"""Command-line interface: ``python -m repro <command>``.
 
-Runs one paper scenario and prints the evaluation summary — the same
-metrics the benchmark harness reports, for ad-hoc exploration:
+One parser, five subcommands:
 
-    python -m repro --workload regional --scale 0.15 --duration 1800
-    python -m repro --workload zipf --high-load --distribution closest
+``run``
+    One paper scenario in the simulator, printing the evaluation
+    summary.  For backwards compatibility, invoking ``python -m repro``
+    with bare flags (no subcommand) means ``run``:
 
-Fault-injection flags enable the unreliable-network fault plane
-(message loss, host outages, heartbeat detection, replica repair):
+        python -m repro run --workload regional --scale 0.15 --duration 1800
+        python -m repro run --workload zipf --loss 0.05 --outage 3:60:120
+        python -m repro run --workload zipf --check-invariants --json run.json
 
-    python -m repro --workload zipf --loss 0.05 --outage 3:60:120
-    python -m repro --workload zipf --mtbf 900 --mttr 120 --json run.json
+``trace``
+    A scenario with the decision tracer attached, emitting the
+    structured protocol trace as JSONL (stdout by default):
 
-The ``trace`` subcommand runs a scenario with the decision tracer
-attached and emits the structured protocol trace as JSONL (stdout by
-default; the run summary goes to stderr):
+        python -m repro trace --preset zipf > trace.jsonl
 
-    python -m repro trace --preset zipf > trace.jsonl
-    python -m repro trace --preset regional --kind placement --out p.jsonl
+``sweep``
+    A scenario x seed x parameter grid fanned out across worker
+    processes, with aggregate statistics:
 
-The ``sweep`` subcommand fans a scenario x seed x parameter grid out
-across worker processes and aggregates the per-run metrics (mean,
-stddev, 95% CI), optionally writing a JSONL run manifest and a JSON
-summary:
+        python -m repro sweep --preset zipf --seeds 4 --workers 4
+        python -m repro sweep --smoke --json bench_smoke.json   # the CI gate
 
-    python -m repro sweep --preset zipf --seeds 4 --workers 4
-    python -m repro sweep --preset regional --set protocol.placement_interval=50,100 \
-        --manifest sweep.jsonl --json summary.json
-    python -m repro sweep --smoke --json bench_smoke.json   # the CI gate sweep
+``serve``
+    The live asyncio serving runtime — the same protocol over real
+    sockets.  Runs a whole deployment in one process, or a single role
+    for multi-process deployments; exits cleanly on SIGINT/SIGTERM,
+    exporting metrics (and the trace) on the way down:
+
+        python -m repro serve --hosts 3 --metrics live.json
+        python -m repro serve --role host --node 1 --config live.json
+
+``loadgen``
+    The load generator that drives a live deployment through the
+    redirector at a target request rate:
+
+        python -m repro loadgen --workload zipf --rate 150 --requests 1000
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 
+from repro import __version__
 from repro.metrics.report import format_table, series_summary
 from repro.obs.export import dump_jsonl, write_jsonl
 from repro.obs.records import RECORD_KINDS
@@ -44,17 +56,24 @@ from repro.scenarios.presets import WORKLOAD_NAMES, paper_scenario
 from repro.scenarios.runner import run_scenario, scenario_metrics
 from repro.sweep import SweepSpec, default_workers, run_sweep, smoke_spec
 
+COMMANDS = ("run", "trace", "sweep", "serve", "loadgen")
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description=(
-            "Run one scenario of the ICDCS 1999 dynamic replication "
-            "protocol reproduction."
-        ),
-    )
+
+# ----------------------------------------------------------------------
+# Shared option groups
+# ----------------------------------------------------------------------
+
+
+def _add_scenario_options(
+    parser: argparse.ArgumentParser,
+    *,
+    workload_flag: str,
+    default_duration: float,
+    with_seed: bool = True,
+) -> None:
+    """The scenario axis shared by run/trace/sweep."""
     parser.add_argument(
-        "--workload",
+        workload_flag,
         choices=[*WORKLOAD_NAMES, "uniform"],
         default="zipf",
         help="request pattern (default: zipf)",
@@ -68,28 +87,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--duration",
         type=float,
-        default=1800.0,
-        help="simulated seconds (default: 1800)",
+        default=default_duration,
+        help=f"simulated seconds (default: {default_duration:g})",
     )
-    parser.add_argument(
-        "--seed", type=int, default=1, help="scenario seed (default: 1)"
-    )
+    if with_seed:
+        parser.add_argument(
+            "--seed", type=int, default=1, help="scenario seed (default: 1)"
+        )
     parser.add_argument(
         "--high-load",
         action="store_true",
         help="use the Figure 9 watermarks (50/40 instead of 90/80)",
     )
-    parser.add_argument(
-        "--static",
-        action="store_true",
-        help="disable dynamic placement (the static baseline)",
-    )
-    parser.add_argument(
-        "--distribution",
-        choices=["paper", "round-robin", "closest"],
-        default="paper",
-        help="request-distribution policy (default: paper)",
-    )
+
+
+def _add_fault_options(parser: argparse.ArgumentParser) -> None:
     faults = parser.add_argument_group(
         "fault injection",
         "any of these enables the unreliable-network fault plane",
@@ -136,6 +148,137 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NODE:AT:DUR",
         help="crash NODE at AT seconds for DUR seconds (repeatable)",
     )
+
+
+def _add_live_config_options(parser: argparse.ArgumentParser) -> None:
+    """The live-deployment world model shared by serve/loadgen."""
+    live = parser.add_argument_group(
+        "live deployment",
+        "--config JSON is the base; the flags override individual fields",
+    )
+    live.add_argument(
+        "--config",
+        default=None,
+        metavar="PATH",
+        help="LiveConfig JSON (shared across the deployment's processes)",
+    )
+    live.add_argument(
+        "--hosts",
+        dest="num_hosts",
+        type=int,
+        default=None,
+        help="number of replica hosts (default: 3)",
+    )
+    live.add_argument(
+        "--topology",
+        choices=("line", "ring", "star"),
+        default=None,
+        help="backbone linking the hosts (default: ring)",
+    )
+    live.add_argument(
+        "--objects",
+        dest="num_objects",
+        type=int,
+        default=None,
+        help="hosted object count (default: 24)",
+    )
+    live.add_argument(
+        "--object-size",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="bytes served per object request (default: 8192)",
+    )
+    live.add_argument(
+        "--bind",
+        dest="bind_host",
+        default=None,
+        metavar="HOST",
+        help="listen/connect address (default: 127.0.0.1)",
+    )
+    live.add_argument(
+        "--base-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="redirector port; host i uses PORT+1+i (default: 8100)",
+    )
+    live.add_argument(
+        "--measurement-interval",
+        type=float,
+        default=None,
+        metavar="S",
+        help="load measurement interval in seconds (default: 1)",
+    )
+    live.add_argument(
+        "--placement-interval",
+        type=float,
+        default=None,
+        metavar="S",
+        help="placement interval in seconds (default: 3)",
+    )
+    live.add_argument(
+        "--high-watermark",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="offloading high watermark in requests/sec (default: 160)",
+    )
+    live.add_argument(
+        "--low-watermark",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="offloading low watermark in requests/sec (default: 120)",
+    )
+
+
+def _live_config(args: argparse.Namespace):
+    from repro.live.deploy import load_config
+
+    return load_config(
+        args.config,
+        {
+            "num_hosts": args.num_hosts,
+            "topology": args.topology,
+            "num_objects": args.num_objects,
+            "object_size": args.object_size,
+            "bind_host": args.bind_host,
+            "base_port": args.base_port,
+            "measurement_interval": args.measurement_interval,
+            "placement_interval": args.placement_interval,
+            "high_watermark": args.high_watermark,
+            "low_watermark": args.low_watermark,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-command parsers (standalone builders kept as the public API)
+# ----------------------------------------------------------------------
+
+
+def _populate_run_parser(parser: argparse.ArgumentParser) -> None:
+    _add_scenario_options(
+        parser, workload_flag="--workload", default_duration=1800.0
+    )
+    parser.add_argument(
+        "--static",
+        action="store_true",
+        help="disable dynamic placement (the static baseline)",
+    )
+    parser.add_argument(
+        "--distribution",
+        choices=["paper", "round-robin", "closest"],
+        default="paper",
+        help="request-distribution policy (default: paper)",
+    )
+    parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="verify protocol invariants at the end of the run",
+    )
+    _add_fault_options(parser)
     parser.add_argument(
         "--json",
         dest="json_out",
@@ -143,72 +286,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the run's scalar metrics as JSON here",
     )
-    return parser
 
 
-def _parse_outage(text: str) -> tuple[int, float, float]:
-    parts = text.split(":")
-    if len(parts) != 3:
-        raise SystemExit(f"bad --outage {text!r}; expected NODE:AT:DUR")
-    try:
-        return int(parts[0]), float(parts[1]), float(parts[2])
-    except ValueError:
-        raise SystemExit(f"bad --outage {text!r}; expected NODE:AT:DUR") from None
-
-
-def _fault_config(args: argparse.Namespace):
-    """A FaultConfig from CLI flags, or None when none were given."""
-    flags = (args.loss, args.dup, args.jitter, args.mtbf, args.mttr, args.outage)
-    if all(value is None for value in flags):
-        return None
-    if (args.mtbf is None) != (args.mttr is None):
-        raise SystemExit("--mtbf and --mttr must be given together")
-    from repro.network.faults import FaultConfig
-
-    return FaultConfig(
-        enabled=True,
-        drop_prob=args.loss or 0.0,
-        duplicate_prob=args.dup or 0.0,
-        delay_jitter=args.jitter or 0.0,
-        mtbf=args.mtbf,
-        mttr=args.mttr,
-        outages=tuple(_parse_outage(o) for o in args.outage or ()),
-    )
-
-
-def build_trace_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro trace",
-        description=(
-            "Run one scenario with the protocol decision tracer attached "
-            "and emit the trace as JSONL."
-        ),
-    )
-    parser.add_argument(
-        "--preset",
-        choices=[*WORKLOAD_NAMES, "uniform"],
-        default="zipf",
-        help="workload preset to trace (default: zipf)",
-    )
-    parser.add_argument(
-        "--scale",
-        type=float,
-        default=0.15,
-        help="load-axis scale relative to Table 1 (default: 0.15)",
-    )
-    parser.add_argument(
-        "--duration",
-        type=float,
-        default=600.0,
-        help="simulated seconds (default: 600)",
-    )
-    parser.add_argument(
-        "--seed", type=int, default=1, help="scenario seed (default: 1)"
-    )
-    parser.add_argument(
-        "--high-load",
-        action="store_true",
-        help="use the Figure 9 watermarks (50/40 instead of 90/80)",
+def _populate_trace_parser(parser: argparse.ArgumentParser) -> None:
+    _add_scenario_options(
+        parser, workload_flag="--preset", default_duration=600.0
     )
     parser.add_argument(
         "--capacity",
@@ -228,39 +310,11 @@ def build_trace_parser() -> argparse.ArgumentParser:
         default="-",
         help="output path for the JSONL trace ('-' = stdout, the default)",
     )
-    return parser
 
 
-def build_sweep_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro sweep",
-        description=(
-            "Run a scenario x seed x parameter-override sweep across "
-            "worker processes and aggregate the metrics."
-        ),
-    )
-    parser.add_argument(
-        "--preset",
-        choices=[*WORKLOAD_NAMES, "uniform"],
-        default="zipf",
-        help="workload preset to sweep (default: zipf)",
-    )
-    parser.add_argument(
-        "--scale",
-        type=float,
-        default=0.15,
-        help="load-axis scale relative to Table 1 (default: 0.15)",
-    )
-    parser.add_argument(
-        "--duration",
-        type=float,
-        default=600.0,
-        help="simulated seconds per run (default: 600)",
-    )
-    parser.add_argument(
-        "--high-load",
-        action="store_true",
-        help="use the Figure 9 watermarks (50/40 instead of 90/80)",
+def _populate_sweep_parser(parser: argparse.ArgumentParser) -> None:
+    _add_scenario_options(
+        parser, workload_flag="--preset", default_duration=600.0, with_seed=False
     )
     parser.add_argument(
         "--seeds",
@@ -332,7 +386,294 @@ def build_sweep_parser() -> argparse.ArgumentParser:
             "(fixed spec shared with benchmarks/reports/baseline.json)"
         ),
     )
+
+
+def _populate_serve_parser(parser: argparse.ArgumentParser) -> None:
+    _add_live_config_options(parser)
+    parser.add_argument(
+        "--role",
+        choices=("all", "redirector", "host"),
+        default="all",
+        help="which role this process runs (default: all, single-process)",
+    )
+    parser.add_argument(
+        "--node",
+        type=int,
+        default=None,
+        help="host node id (required with --role host)",
+    )
+    parser.add_argument(
+        "--serve-duration",
+        type=float,
+        default=None,
+        metavar="S",
+        help="exit after S seconds instead of waiting for a signal",
+    )
+    parser.add_argument(
+        "--metrics",
+        dest="metrics_out",
+        default=None,
+        metavar="PATH",
+        help="write the deployment metrics snapshot as JSON on shutdown",
+    )
+    parser.add_argument(
+        "--trace",
+        dest="trace_out",
+        default=None,
+        metavar="PATH",
+        help="attach the decision tracer and write its JSONL on shutdown",
+    )
+
+
+def _populate_loadgen_parser(parser: argparse.ArgumentParser) -> None:
+    _add_live_config_options(parser)
+    parser.add_argument(
+        "--workload",
+        choices=("uniform", "zipf", "hot_sites", "regional"),
+        default="zipf",
+        help="request pattern to replay (default: zipf)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=120.0,
+        help="target request rate in requests/sec (default: 120)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=1000,
+        help="total requests to issue (default: 1000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="sampler seed (default: 1)"
+    )
+    parser.add_argument(
+        "--phases",
+        type=int,
+        default=1,
+        help="popularity phases (ids re-permuted per phase; default: 1)",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=64,
+        help="max in-flight requests (default: 64)",
+    )
+    parser.add_argument(
+        "--redirector",
+        default=None,
+        metavar="HOST:PORT",
+        help="redirector address (default: derived from the live config)",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="PATH",
+        help="write the client-side metrics as JSON here",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``run`` subcommand's parser (standalone, legacy entry)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Run one scenario of the ICDCS 1999 dynamic replication "
+            "protocol reproduction."
+        ),
+    )
+    _populate_run_parser(parser)
     return parser
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description=(
+            "Run one scenario with the protocol decision tracer attached "
+            "and emit the trace as JSONL."
+        ),
+    )
+    _populate_trace_parser(parser)
+    return parser
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description=(
+            "Run a scenario x seed x parameter-override sweep across "
+            "worker processes and aggregate the metrics."
+        ),
+    )
+    _populate_sweep_parser(parser)
+    return parser
+
+
+def build_cli() -> argparse.ArgumentParser:
+    """The unified ``python -m repro`` parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of the ICDCS 1999 dynamic object replication "
+            "and migration protocol: simulator, sweeps, and a live "
+            "serving runtime."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _populate_run_parser(
+        sub.add_parser("run", help="run one simulated scenario")
+    )
+    _populate_trace_parser(
+        sub.add_parser("trace", help="run a scenario and emit a JSONL decision trace")
+    )
+    _populate_sweep_parser(
+        sub.add_parser("sweep", help="fan a scenario grid across worker processes")
+    )
+    _populate_serve_parser(
+        sub.add_parser("serve", help="run the live serving runtime over real sockets")
+    )
+    _populate_loadgen_parser(
+        sub.add_parser("loadgen", help="drive load through a live deployment")
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+# run
+# ----------------------------------------------------------------------
+
+
+def _parse_outage(text: str) -> tuple[int, float, float]:
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise SystemExit(f"bad --outage {text!r}; expected NODE:AT:DUR")
+    try:
+        return int(parts[0]), float(parts[1]), float(parts[2])
+    except ValueError:
+        raise SystemExit(f"bad --outage {text!r}; expected NODE:AT:DUR") from None
+
+
+def _fault_config(args: argparse.Namespace):
+    """A FaultConfig from CLI flags, or None when none were given."""
+    flags = (args.loss, args.dup, args.jitter, args.mtbf, args.mttr, args.outage)
+    if all(value is None for value in flags):
+        return None
+    if (args.mtbf is None) != (args.mttr is None):
+        raise SystemExit("--mtbf and --mttr must be given together")
+    from repro.network.faults import FaultConfig
+
+    return FaultConfig(
+        enabled=True,
+        drop_prob=args.loss or 0.0,
+        duplicate_prob=args.dup or 0.0,
+        delay_jitter=args.jitter or 0.0,
+        mtbf=args.mtbf,
+        mttr=args.mttr,
+        outages=tuple(_parse_outage(o) for o in args.outage or ()),
+    )
+
+
+def run_main(args: argparse.Namespace) -> int:
+    config = paper_scenario(
+        args.workload,
+        high_load=args.high_load,
+        dynamic=not args.static,
+        scale=args.scale,
+        duration=args.duration,
+        seed=args.seed,
+    ).replace(
+        distribution=args.distribution,
+        check_invariants=args.check_invariants,
+    )
+    faults = _fault_config(args)
+    if faults is not None:
+        config = config.replace(faults=faults)
+    print(f"running {config.name!r} ({args.distribution} distribution) ...")
+    result = run_scenario(config)
+
+    print()
+    print(series_summary("bandwidth (byte-hops/min)", result.bandwidth.payload_series()))
+    print(series_summary("mean latency (s)", result.latency.mean_latency_series()))
+    rows = [
+        ["requests serviced / dropped",
+         f"{result.latency.completed} / {result.latency.dropped}"],
+        ["bandwidth reduction", f"{result.bandwidth_reduction():.1%}"],
+        ["per-request bandwidth reduction", f"{result.proximity_reduction():.1%}"],
+        ["latency equilibrium", f"{result.latency_equilibrium():.3f} s"],
+        ["replicas per object", f"{result.replicas_per_object():.2f}"],
+        ["overhead (full-scale equiv.)",
+         f"{result.overhead_fraction_fullscale():.2%}"],
+        ["settled max load",
+         f"{result.max_load_settled():.1f} req/s "
+         f"(hw {config.protocol.high_watermark:g})"],
+        ["relocations", f"{len(result.system.placement_events)}"],
+    ]
+    if result.system.fault_plane is not None:
+        from repro.metrics.availability import fault_metrics
+
+        faulty = fault_metrics(result.system, config.duration)
+        rows.extend(
+            [
+                ["requests lost", f"{faulty['requests_lost']:.0f}"],
+                ["rpc retries / timeouts",
+                 f"{faulty['rpc_retries']:.0f} / {faulty['rpc_timeouts']:.0f}"],
+                ["failure detections / recoveries",
+                 f"{faulty.get('failure_detections', 0.0):.0f} / "
+                 f"{faulty.get('failure_recoveries', 0.0):.0f}"],
+                ["repairs", f"{faulty.get('repairs', 0.0):.0f}"],
+                ["unavailability",
+                 f"{faulty.get('unavailability_seconds', 0.0):.1f} s"],
+            ]
+        )
+    print()
+    print(format_table(["metric", "value"], rows))
+    if args.json_out:
+        metrics = scenario_metrics(result)
+        with open(args.json_out, "w") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote metrics to {args.json_out}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# trace
+# ----------------------------------------------------------------------
+
+
+def trace_main(args: argparse.Namespace) -> int:
+    config = paper_scenario(
+        args.preset,
+        high_load=args.high_load,
+        scale=args.scale,
+        duration=args.duration,
+        seed=args.seed,
+    ).replace(traced=True, trace_capacity=args.capacity)
+    print(f"tracing {config.name!r} ...", file=sys.stderr)
+    result = run_scenario(config)
+    trace = result.trace
+    if args.kind:
+        records = [r for r in trace.records() if r.kind in set(args.kind)]
+    else:
+        records = trace.records()
+    if args.out == "-":
+        dump_jsonl(records, sys.stdout)
+    else:
+        count = write_jsonl(records, args.out)
+        print(f"wrote {count} records to {args.out}", file=sys.stderr)
+    print(json.dumps(trace.summary(), indent=2), file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# sweep
+# ----------------------------------------------------------------------
 
 
 def _parse_override_value(text: str):
@@ -358,8 +699,7 @@ def _parse_axes(pairs: list[str] | None) -> dict[str, list]:
     return axes
 
 
-def sweep_main(argv: list[str]) -> int:
-    args = build_sweep_parser().parse_args(argv)
+def sweep_main(args: argparse.Namespace) -> int:
     if args.smoke:
         spec = smoke_spec()
     else:
@@ -423,96 +763,98 @@ def sweep_main(argv: list[str]) -> int:
     return 0 if not result.failures else 1
 
 
-def trace_main(argv: list[str]) -> int:
-    args = build_trace_parser().parse_args(argv)
-    config = paper_scenario(
-        args.preset,
-        high_load=args.high_load,
-        scale=args.scale,
-        duration=args.duration,
-        seed=args.seed,
-    ).replace(traced=True, trace_capacity=args.capacity)
-    print(f"tracing {config.name!r} ...", file=sys.stderr)
-    result = run_scenario(config)
-    trace = result.trace
-    if args.kind:
-        records = [r for r in trace.records() if r.kind in set(args.kind)]
+# ----------------------------------------------------------------------
+# serve / loadgen (the live runtime)
+# ----------------------------------------------------------------------
+
+
+def serve_main(args: argparse.Namespace) -> int:
+    from repro.live.deploy import serve_all, serve_host, serve_redirector
+
+    config = _live_config(args)
+    if args.role == "all":
+        coroutine = serve_all(
+            config,
+            metrics_path=args.metrics_out,
+            trace_path=args.trace_out,
+            duration=args.serve_duration,
+        )
+    elif args.role == "redirector":
+        coroutine = serve_redirector(config, metrics_path=args.metrics_out)
     else:
-        records = trace.records()
-    if args.out == "-":
-        dump_jsonl(records, sys.stdout)
-    else:
-        count = write_jsonl(records, args.out)
-        print(f"wrote {count} records to {args.out}", file=sys.stderr)
-    print(json.dumps(trace.summary(), indent=2), file=sys.stderr)
+        if args.node is None:
+            raise SystemExit("--role host needs --node")
+        coroutine = serve_host(config, args.node, metrics_path=args.metrics_out)
+    asyncio.run(coroutine)
     return 0
+
+
+def loadgen_main(args: argparse.Namespace) -> int:
+    from repro.live.loadgen import LoadgenOptions, run_loadgen
+    from repro.live.metrics import format_live_summary
+
+    config = _live_config(args)
+    if args.redirector:
+        host, sep, port = args.redirector.rpartition(":")
+        if not sep:
+            raise SystemExit("--redirector must be HOST:PORT")
+        redirector = (host, int(port))
+    else:
+        redirector = config.redirector_address()
+        if redirector[1] == 0:
+            raise SystemExit(
+                "ephemeral-port config: pass --redirector HOST:PORT"
+            )
+    options = LoadgenOptions(
+        workload=args.workload,
+        rate=args.rate,
+        requests=args.requests,
+        seed=args.seed,
+        phases=args.phases,
+        concurrency=args.concurrency,
+    )
+
+    def progress(done: int, total: int) -> None:
+        print(f"  {done}/{total} requests issued", file=sys.stderr)
+
+    stats = asyncio.run(
+        run_loadgen(redirector, config, options, on_progress=progress)
+    )
+    summary = stats.summary()
+    print(format_live_summary(summary))
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote metrics to {args.json_out}", file=sys.stderr)
+    return 0 if stats.completed > 0 and stats.failed == 0 else 1
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+_COMMAND_MAINS = {
+    "run": run_main,
+    "trace": trace_main,
+    "sweep": sweep_main,
+    "serve": serve_main,
+    "loadgen": loadgen_main,
+}
 
 
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "trace":
-        return trace_main(argv[1:])
-    if argv and argv[0] == "sweep":
-        return sweep_main(argv[1:])
-    args = build_parser().parse_args(argv)
-    config = paper_scenario(
-        args.workload,
-        high_load=args.high_load,
-        dynamic=not args.static,
-        scale=args.scale,
-        duration=args.duration,
-        seed=args.seed,
-    ).replace(distribution=args.distribution)
-    faults = _fault_config(args)
-    if faults is not None:
-        config = config.replace(faults=faults)
-    print(f"running {config.name!r} ({args.distribution} distribution) ...")
-    result = run_scenario(config)
-
-    print()
-    print(series_summary("bandwidth (byte-hops/min)", result.bandwidth.payload_series()))
-    print(series_summary("mean latency (s)", result.latency.mean_latency_series()))
-    rows = [
-        ["requests serviced / dropped",
-         f"{result.latency.completed} / {result.latency.dropped}"],
-        ["bandwidth reduction", f"{result.bandwidth_reduction():.1%}"],
-        ["per-request bandwidth reduction", f"{result.proximity_reduction():.1%}"],
-        ["latency equilibrium", f"{result.latency_equilibrium():.3f} s"],
-        ["replicas per object", f"{result.replicas_per_object():.2f}"],
-        ["overhead (full-scale equiv.)",
-         f"{result.overhead_fraction_fullscale():.2%}"],
-        ["settled max load",
-         f"{result.max_load_settled():.1f} req/s "
-         f"(hw {config.protocol.high_watermark:g})"],
-        ["relocations", f"{len(result.system.placement_events)}"],
-    ]
-    if result.system.fault_plane is not None:
-        from repro.metrics.availability import fault_metrics
-
-        faulty = fault_metrics(result.system, config.duration)
-        rows.extend(
-            [
-                ["requests lost", f"{faulty['requests_lost']:.0f}"],
-                ["rpc retries / timeouts",
-                 f"{faulty['rpc_retries']:.0f} / {faulty['rpc_timeouts']:.0f}"],
-                ["failure detections / recoveries",
-                 f"{faulty.get('failure_detections', 0.0):.0f} / "
-                 f"{faulty.get('failure_recoveries', 0.0):.0f}"],
-                ["repairs", f"{faulty.get('repairs', 0.0):.0f}"],
-                ["unavailability",
-                 f"{faulty.get('unavailability_seconds', 0.0):.1f} s"],
-            ]
-        )
-    print()
-    print(format_table(["metric", "value"], rows))
-    if args.json_out:
-        metrics = scenario_metrics(result)
-        with open(args.json_out, "w") as handle:
-            json.dump(metrics, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"wrote metrics to {args.json_out}")
-    return 0
+    # Legacy compatibility: bare flags (or nothing) mean `run`.
+    if not argv:
+        argv = ["run"]
+    elif argv[0] not in COMMANDS and argv[0] not in (
+        "-h", "--help", "--version",
+    ):
+        argv = ["run", *argv]
+    args = build_cli().parse_args(argv)
+    return _COMMAND_MAINS[args.command](args)
 
 
 if __name__ == "__main__":

@@ -27,7 +27,7 @@ backbone via the hosting system's network.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.load.bounds import replication_target_max_increase
 from repro.obs.records import CreateObjRecord
@@ -36,10 +36,74 @@ from repro.types import (
     ObjectId,
     PlacementAction,
     PlacementReason,
+    Time,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.host import HostServer
     from repro.core.protocol import HostingSystem
+
+
+def decide_create_obj(
+    host: "HostServer",
+    action: PlacementAction,
+    obj: ObjectId,
+    unit_load: float,
+    *,
+    replica_count: Callable[[], int] | None = None,
+    policy: object | None = None,
+) -> str | None:
+    """The candidate-side accept/refuse decision of Figure 4.
+
+    Pure protocol logic — no I/O, no clock — shared verbatim by the
+    simulated :func:`handle_create_obj` and the live runtime's CreateObj
+    endpoint (the transport seam of :mod:`repro.core.runtime`).  Returns
+    the refusal reason, or ``None`` to accept.  ``replica_count`` is only
+    consulted when a consistency ``policy`` bounds the replica set.
+    """
+    if not host.available:
+        return "host-down"
+    if (
+        policy is not None
+        and action is PlacementAction.REPLICATE
+        and obj not in host.store
+        and replica_count is not None
+        and not policy.may_replicate(obj, replica_count())
+    ):
+        # Section 5: category-3 objects keep a bounded replica set; the
+        # protocol is unchanged except that excess replications are
+        # refused (migrations never change the replica count).
+        return "replica-limit"
+    if host.upper_load > host.low_watermark:
+        return "low-watermark"
+    if not host.has_storage_room(obj):
+        # Storage is the second component of the Section 2.1 vector load
+        # metric: a host whose store is full refuses new copies outright.
+        return "storage-full"
+    if (
+        action is PlacementAction.MIGRATE
+        and host.upper_load + replication_target_max_increase(unit_load, 1)
+        > host.high_watermark
+    ):
+        return "migration-headroom"
+    return None
+
+
+def apply_create_obj(
+    host: "HostServer", obj: ObjectId, unit_load: float, now: Time
+) -> int:
+    """Candidate-side commit: store the copy and bump the upper bound.
+
+    Returns the replica's new affinity.  The caller is responsible for
+    having moved the object's bytes (when the store lacked a copy) and
+    for notifying the redirector *after* this commit, preserving the
+    registry-subset invariant.
+    """
+    affinity = host.store.add(obj)
+    host.estimator.note_acquired(
+        replication_target_max_increase(unit_load, 1), now
+    )
+    return affinity
 
 
 def handle_create_obj(
@@ -96,36 +160,18 @@ def handle_create_obj(
         # was dropped, or the candidate is down): the source gives up
         # after the retry budget and no state changed anywhere.
         return verdict(False, "rpc-timeout")
-    if not host.available:
-        return verdict(False, "host-down")
-    policy = system.consistency_policy
-    if (
-        policy is not None
-        and action is PlacementAction.REPLICATE
-        and obj not in host.store
-        and not policy.may_replicate(
-            obj, system.redirectors.for_object(obj).replica_count(obj)
-        )
-    ):
-        # Section 5: category-3 objects keep a bounded replica set; the
-        # protocol is unchanged except that excess replications are
-        # refused (migrations never change the replica count).
-        return verdict(False, "replica-limit")
-    if host.upper_load > host.low_watermark:
-        return verdict(False, "low-watermark")
-    if not host.has_storage_room(obj):
-        # Storage is the second component of the Section 2.1 vector load
-        # metric: a host whose store is full refuses new copies outright.
-        return verdict(False, "storage-full")
-    max_increase = replication_target_max_increase(unit_load, 1)  # = 4 * unit_load
-    if (
-        action is PlacementAction.MIGRATE
-        and host.upper_load + max_increase > host.high_watermark
-    ):
-        return verdict(False, "migration-headroom")
+    refusal = decide_create_obj(
+        host,
+        action,
+        obj,
+        unit_load,
+        replica_count=lambda: system.redirectors.for_object(obj).replica_count(obj),
+        policy=system.consistency_policy,
+    )
+    if refusal is not None:
+        return verdict(False, refusal)
 
     if obj in host.store:
-        affinity = host.store.add(obj)
         copied_bytes = 0
     else:
         # Copy the object's bytes from the source host across the
@@ -133,7 +179,7 @@ def handle_create_obj(
         # whole-payload rounds until one arrives intact.
         copied_bytes = system.object_size
         system.rpc.bulk(source, candidate, copied_bytes)
-        affinity = host.store.add(obj)
+    affinity = apply_create_obj(host, obj, unit_load, system.clock.now)
 
     # Notify the redirector of the new copy / affinity *after* the fact.
     # The notification is eventually reliable: the copy exists, so the
@@ -141,8 +187,6 @@ def handle_create_obj(
     redirector = system.redirectors.for_object(obj)
     system.rpc.notify(candidate, redirector.node, control)
     redirector.replica_created(obj, candidate, affinity)
-
-    host.estimator.note_acquired(max_increase, system.sim.now)
     system.record_placement(
         action, reason, obj, source=source, target=candidate, copied_bytes=copied_bytes
     )

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.core.create_obj import handle_create_obj
 from repro.core.placement import PlacementEngine
 from repro.load.bounds import (
     migration_source_max_decrease,
@@ -33,7 +32,7 @@ from repro.types import NodeId, ObjectId, PlacementAction, PlacementReason, Time
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.host import HostServer
-    from repro.core.protocol import HostingSystem
+    from repro.core.runtime import SystemPort
 
 
 def _foreign_fraction(
@@ -52,7 +51,7 @@ def _foreign_fraction(
 
 
 def run_offload(
-    system: "HostingSystem",
+    system: "SystemPort",
     engine: PlacementEngine,
     host: "HostServer",
     now: Time,
@@ -77,16 +76,15 @@ def run_offload(
             )
 
     # Recipient discovery consults the load board as of ``now`` so
-    # expired (crashed-host) reports are not trusted.
-    recipient = system.find_offload_recipient(host.node, now)
-    if recipient is None:
+    # expired (crashed-host) reports are not trusted.  The recipient
+    # "responds to the requesting host with its load value": the running
+    # upper-bound estimate starts from that response.
+    probe = system.probe_offload_recipient(host.node, now)
+    if probe is None:
         trace(None, 0, "no-recipient")
         return 0
+    recipient, recipient_load, recipient_low_watermark = probe
     config = system.config
-    recipient_host = system.hosts[recipient]
-    # The recipient "responds to the requesting host with its load value":
-    # the running upper-bound estimate starts from that response.
-    recipient_load = recipient_host.upper_load
 
     ordered = sorted(
         host.store.objects(),
@@ -98,7 +96,7 @@ def run_offload(
         if host.lower_load <= host.low_watermark:
             stop_reason = "source-relieved"
             break
-        if recipient_load >= recipient_host.low_watermark:
+        if recipient_load >= recipient_low_watermark:
             stop_reason = "recipient-budget"
             break
         if obj not in host.store:
@@ -109,8 +107,7 @@ def run_offload(
         obj_load = host.meter.object_load(obj)
         unit_load = obj_load / affinity
         if unit_rate <= config.replication_threshold:
-            accepted = handle_create_obj(
-                system,
+            accepted = system.create_obj(
                 host.node,
                 recipient,
                 PlacementAction.MIGRATE,
@@ -128,8 +125,7 @@ def run_offload(
                 record_drop=False,
             )
         else:
-            accepted = handle_create_obj(
-                system,
+            accepted = system.create_obj(
                 host.node,
                 recipient,
                 PlacementAction.REPLICATE,

@@ -30,7 +30,6 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING
 
-from repro.core.create_obj import handle_create_obj
 from repro.load.bounds import (
     migration_source_max_decrease,
     replication_source_max_decrease,
@@ -40,7 +39,7 @@ from repro.types import NodeId, ObjectId, PlacementAction, PlacementReason, Time
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.host import HostServer
-    from repro.core.protocol import HostingSystem
+    from repro.core.runtime import SystemPort
 
 
 class AffinityOutcome(enum.Enum):
@@ -52,9 +51,16 @@ class AffinityOutcome(enum.Enum):
 
 
 class PlacementEngine:
-    """Runs DecidePlacement / ReduceAffinity on behalf of hosts."""
+    """Runs DecidePlacement / ReduceAffinity on behalf of hosts.
 
-    def __init__(self, system: "HostingSystem") -> None:
+    ``system`` is any :class:`~repro.core.runtime.SystemPort`: the
+    simulated :class:`~repro.core.protocol.HostingSystem` or the live
+    runtime's :class:`~repro.live.system.LiveSystem` — the engine only
+    speaks the port's five control conversations, so the decision logic
+    is identical in both runtimes.
+    """
+
+    def __init__(self, system: "SystemPort") -> None:
         self._system = system
 
     # ------------------------------------------------------------------
@@ -83,29 +89,15 @@ class PlacementEngine:
         """
         system = self._system
         host = system.hosts[node]
-        redirector = system.redirectors.for_object(obj)
-        control = system.control_bytes
         affinity = host.store.affinity(obj)
         if affinity > 1:
             new_affinity = host.store.reduce(obj)
-            system.rpc.notify(node, redirector.node, control)
-            redirector.affinity_reduced(obj, node, new_affinity)
+            system.notify_affinity_reduced(node, obj, new_affinity)
             outcome = AffinityOutcome.REDUCED
         else:
-            # Intention-to-drop round trip with the redirector.  The
-            # arbitration must not end ambiguously — a host that drops
-            # the bytes without the redirector knowing (or vice versa)
-            # breaks the registry-subset invariant — so the exchange is
-            # persistent: it retries past the normal budget until the
-            # answer is known on both sides.
-            system.rpc.call(
-                node,
-                redirector.node,
-                request_bytes=control,
-                response_bytes=control,
-                persistent=True,
-            )
-            if not redirector.request_drop(obj, node):
+            # Intention-to-drop arbitration with the redirector (a
+            # persistent round trip; see SystemPort.request_drop).
+            if not system.request_drop(node, obj):
                 return AffinityOutcome.REFUSED
             host.store.drop(obj)
             host.clear_object_state(obj)
@@ -119,7 +111,7 @@ class PlacementEngine:
                 )
             outcome = AffinityOutcome.DROPPED
         if shed_bound is not None:
-            host.estimator.note_shed(shed_bound, system.sim.now)
+            host.estimator.note_shed(shed_bound, system.clock.now)
         return outcome
 
     # ------------------------------------------------------------------
@@ -242,8 +234,7 @@ class PlacementEngine:
             )
         )
         for candidate in migration_candidates:
-            if handle_create_obj(
-                system,
+            if system.create_obj(
                 node,
                 candidate,
                 PlacementAction.MIGRATE,
@@ -280,8 +271,7 @@ class PlacementEngine:
                 )
             )
             for candidate in replication_candidates:
-                if handle_create_obj(
-                    system,
+                if system.create_obj(
                     node,
                     candidate,
                     PlacementAction.REPLICATE,
@@ -294,7 +284,7 @@ class PlacementEngine:
                         replication_candidates, candidate,
                     )
                     host.estimator.note_shed(
-                        replication_source_max_decrease(obj_load), system.sim.now
+                        replication_source_max_decrease(obj_load), system.clock.now
                     )
                     return True
             trace(

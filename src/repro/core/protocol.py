@@ -136,6 +136,10 @@ class HostingSystem:
         if object_size <= 0:
             raise ProtocolError("object size must be positive")
         self.sim = sim
+        #: The :class:`~repro.core.runtime.Clock` seen by the protocol
+        #: decision code (the transport+clock seam): in the simulator the
+        #: clock *is* the simulator.
+        self.clock = sim
         self.network = network
         self.routes = network.routes
         self.config = config
@@ -537,6 +541,64 @@ class HostingSystem:
         """Delegate to the Figure 5 offload protocol."""
         return run_offload(self, self.engine, host, now, elapsed)
 
+    # ------------------------------------------------------------------
+    # The SystemPort control conversations (core/runtime.py seam).
+    # Each method is the simulated-backbone implementation of one
+    # protocol control exchange; repro.live.system.LiveSystem implements
+    # the same five over real HTTP.
+    # ------------------------------------------------------------------
+
+    def create_obj(
+        self,
+        source: NodeId,
+        candidate: NodeId,
+        action: PlacementAction,
+        obj: ObjectId,
+        unit_load: float,
+        reason: PlacementReason,
+    ) -> bool:
+        """Run the CreateObj handshake over the simulated backbone."""
+        return handle_create_obj(
+            self, source, candidate, action, obj, unit_load, reason
+        )
+
+    def notify_affinity_reduced(
+        self, node: NodeId, obj: ObjectId, new_affinity: int
+    ) -> None:
+        """Report a non-final affinity decrement to the redirector."""
+        redirector = self.redirectors.for_object(obj)
+        self.rpc.notify(node, redirector.node, self.control_bytes)
+        redirector.affinity_reduced(obj, node, new_affinity)
+
+    def request_drop(self, node: NodeId, obj: ObjectId) -> bool:
+        """Drop arbitration with the redirector (affinity 1 -> 0).
+
+        The intention-to-drop exchange must not end ambiguously — a host
+        that drops the bytes without the redirector knowing (or vice
+        versa) breaks the registry-subset invariant — so the conversation
+        is persistent: it retries past the normal budget until the answer
+        is known on both sides.
+        """
+        redirector = self.redirectors.for_object(obj)
+        self.rpc.call(
+            node,
+            redirector.node,
+            request_bytes=self.control_bytes,
+            response_bytes=self.control_bytes,
+            persistent=True,
+        )
+        return redirector.request_drop(obj, node)
+
+    def probe_offload_recipient(
+        self, source: NodeId, now: Time | None = None
+    ) -> tuple[NodeId, float, float] | None:
+        """Find an offload recipient and read back its load response."""
+        recipient = self.find_offload_recipient(source, now)
+        if recipient is None:
+            return None
+        host = self.hosts[recipient]
+        return recipient, host.upper_load, host.low_watermark
+
     def record_placement(
         self,
         action: PlacementAction,
@@ -549,7 +611,7 @@ class HostingSystem:
     ) -> None:
         """Log one replica-set change and notify observers."""
         event = PlacementEvent(
-            time=self.sim.now,
+            time=self.clock.now,
             action=action,
             reason=reason,
             obj=obj,

@@ -1,0 +1,132 @@
+"""The transport+clock seam between the protocol and its runtime.
+
+The replication/migration protocol logic (:mod:`repro.core.placement`,
+:mod:`repro.core.create_obj`, :mod:`repro.core.offload`) is written
+against two small abstractions instead of the simulator directly, so the
+same decision code drives both runtimes:
+
+* the **discrete-event simulator** (:class:`~repro.sim.engine.Simulator`
+  inside :class:`~repro.core.protocol.HostingSystem`), where control
+  conversations are modelled by the accounting RPC layer and time is the
+  simulated clock; and
+* the **live asyncio runtime** (:mod:`repro.live`), where the same
+  conversations travel as JSON over real TCP sockets and time is the
+  wall clock.
+
+:class:`Clock` is the clock half of the seam: anything with a ``now``
+property measured in seconds.  The simulator satisfies it natively; the
+live runtime provides :class:`~repro.live.clock.WallClock` and the
+test-driven :class:`~repro.live.clock.ManualClock`.
+
+:class:`SystemPort` is the transport half: the exact surface the
+placement engine and the offload protocol require of "the system".
+:class:`~repro.core.protocol.HostingSystem` implements it over the
+simulated backbone; :class:`~repro.live.system.LiveSystem` implements it
+over HTTP.  Keeping the port explicit (and narrow) is what guarantees
+the two runtimes cannot drift apart: protocol decisions only ever see
+this interface.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Protocol, runtime_checkable
+
+from repro.types import (
+    NodeId,
+    ObjectId,
+    PlacementAction,
+    PlacementReason,
+    Time,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.config import ProtocolConfig
+    from repro.core.host import HostServer
+    from repro.routing.routes_db import RoutingDatabase
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """A monotonic clock in seconds — simulated or wall time."""
+
+    @property
+    def now(self) -> Time: ...  # pragma: no cover - protocol
+
+
+class SystemPort(Protocol):
+    """What the protocol decision code requires of its runtime.
+
+    Attributes
+    ----------
+    config / clock / routes / tracer:
+        Protocol parameters, the runtime's clock, the (shared, static)
+        routing database, and an optional protocol tracer.
+    hosts:
+        Mapping from node id to the :class:`HostServer` state *this
+        runtime owns*.  The simulator owns every host; a live host
+        process owns exactly its own entry — the protocol code only ever
+        indexes it with the node currently making a decision.
+
+    Methods
+    -------
+    The five control conversations below are the complete transport
+    surface of the placement protocol.  Each is synchronous from the
+    caller's point of view; the simulated implementation accounts
+    message bytes, the live one performs real HTTP round trips.
+    """
+
+    config: "ProtocolConfig"
+    clock: Clock
+    routes: "RoutingDatabase"
+    tracer: object | None
+    hosts: Mapping[NodeId, "HostServer"]
+
+    def create_obj(
+        self,
+        source: NodeId,
+        candidate: NodeId,
+        action: PlacementAction,
+        obj: ObjectId,
+        unit_load: float,
+        reason: PlacementReason,
+    ) -> bool:
+        """Run the Figure 4 CreateObj handshake with ``candidate``."""
+        ...  # pragma: no cover - protocol
+
+    def notify_affinity_reduced(
+        self, node: NodeId, obj: ObjectId, new_affinity: int
+    ) -> None:
+        """Tell the object's redirector about a non-final affinity drop."""
+        ...  # pragma: no cover - protocol
+
+    def request_drop(self, node: NodeId, obj: ObjectId) -> bool:
+        """Ask the object's redirector to approve dropping the replica."""
+        ...  # pragma: no cover - protocol
+
+    def probe_offload_recipient(
+        self, source: NodeId, now: Time | None = None
+    ) -> tuple[NodeId, float, float] | None:
+        """Find an under-loaded offload recipient (Figure 5, step 1).
+
+        Returns ``(recipient, reported_upper_load, low_watermark)`` — the
+        recipient "responds to the requesting host with its load value" —
+        or ``None`` when no candidate is below its low watermark.
+        """
+        ...  # pragma: no cover - protocol
+
+    def record_placement(
+        self,
+        action: PlacementAction,
+        reason: PlacementReason,
+        obj: ObjectId,
+        *,
+        source: NodeId,
+        target: NodeId | None,
+        copied_bytes: int = 0,
+    ) -> None:
+        """Log one replica-set change for metrics/observability."""
+        ...  # pragma: no cover - protocol
+
+    def run_offload(self, host: "HostServer", now: Time, elapsed: float) -> int:
+        """Run the Figure 5 bulk offload protocol for ``host``."""
+        ...  # pragma: no cover - protocol

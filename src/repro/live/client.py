@@ -1,0 +1,202 @@
+"""Synchronous control-plane and data-plane HTTP clients.
+
+The protocol's outbound conversations are synchronous by nature — a
+CreateObj offer blocks the placement pass until the candidate answers,
+exactly as the simulator's in-process call does — so the live runtime
+uses plain :mod:`http.client` requests.  Blocking calls run either on a
+tick thread (measurement/placement timers) or inside
+``asyncio.to_thread`` when issued from a request handler; they never run
+directly on the event loop, so a same-process peer can always be served
+while the caller waits.
+
+Reliability grades mirror :mod:`repro.network.rpc`: plain calls and
+notifies are single attempts (a loss degrades gracefully, as in the
+sim's fault plane), while *persistent* calls — drop arbitration and the
+replica-created registration, whose loss would desynchronise the
+redirector registry — retry with backoff before giving up.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any
+
+from repro.types import NodeId, ObjectId
+
+from repro.live.config import PeerDirectory
+
+#: Attempts for persistent (must-not-be-lost) control conversations.
+PERSISTENT_ATTEMPTS = 4
+PERSISTENT_BACKOFF = 0.05
+
+
+class TransportError(Exception):
+    """An HTTP control/data exchange failed (connect, I/O, or status)."""
+
+
+def http_request(
+    address: tuple[str, int],
+    method: str,
+    path: str,
+    *,
+    payload: dict[str, Any] | None = None,
+    timeout: float = 5.0,
+) -> bytes:
+    """One HTTP exchange; returns the response body, raises on >= 400."""
+    host, port = address
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            raise TransportError(f"{method} {host}:{port}{path}: {exc}") from exc
+        if response.status >= 400:
+            raise TransportError(
+                f"{method} {host}:{port}{path} -> {response.status} "
+                f"{data[:200]!r}"
+            )
+        return data
+    finally:
+        connection.close()
+
+
+def http_json(
+    address: tuple[str, int],
+    method: str,
+    path: str,
+    *,
+    payload: dict[str, Any] | None = None,
+    timeout: float = 5.0,
+) -> dict[str, Any]:
+    data = http_request(address, method, path, payload=payload, timeout=timeout)
+    if not data:
+        return {}
+    try:
+        decoded = json.loads(data)
+    except ValueError as exc:
+        raise TransportError(f"non-JSON reply from {path}: {data[:200]!r}") from exc
+    if not isinstance(decoded, dict):
+        raise TransportError(f"non-object JSON reply from {path}")
+    return decoded
+
+
+def _persistent(
+    address: tuple[str, int],
+    method: str,
+    path: str,
+    *,
+    payload: dict[str, Any] | None = None,
+    timeout: float = 5.0,
+) -> dict[str, Any]:
+    last_error: TransportError | None = None
+    for attempt in range(PERSISTENT_ATTEMPTS):
+        try:
+            return http_json(address, method, path, payload=payload, timeout=timeout)
+        except TransportError as exc:
+            last_error = exc
+            if attempt + 1 < PERSISTENT_ATTEMPTS:
+                time.sleep(PERSISTENT_BACKOFF * (attempt + 1))
+    assert last_error is not None
+    raise last_error
+
+
+class ControlPlane:
+    """Typed client for the deployment's JSON-over-HTTP control plane."""
+
+    def __init__(self, directory: PeerDirectory, *, timeout: float = 5.0) -> None:
+        self.directory = directory
+        self.timeout = timeout
+
+    # -- host-to-host ---------------------------------------------------
+
+    def create_obj(self, candidate: NodeId, payload: dict[str, Any]) -> dict[str, Any]:
+        """Offer a replica/affinity unit to ``candidate`` (Figure 4)."""
+        return http_json(
+            self.directory.host(candidate),
+            "POST",
+            "/control/create_obj",
+            payload=payload,
+            timeout=self.timeout,
+        )
+
+    def host_load(self, node: NodeId) -> dict[str, Any]:
+        """The offload probe: ask a host for its current load estimate."""
+        return http_json(
+            self.directory.host(node),
+            "GET",
+            "/control/load",
+            timeout=self.timeout,
+        )
+
+    def fetch_object(self, node: NodeId, obj: ObjectId) -> bytes:
+        """Pull an object's bytes from a replica host (the bulk copy)."""
+        return http_request(
+            self.directory.host(node),
+            "GET",
+            f"/data/{obj}",
+            timeout=self.timeout,
+        )
+
+    # -- host-to-redirector ---------------------------------------------
+
+    def replica_created(self, node: NodeId, obj: ObjectId, affinity: int) -> None:
+        """Register a new copy / affinity increase (persistent)."""
+        _persistent(
+            self.directory.redirector(),
+            "POST",
+            "/control/replica_created",
+            payload={"obj": obj, "host": node, "affinity": affinity},
+            timeout=self.timeout,
+        )
+
+    def affinity_reduced(self, node: NodeId, obj: ObjectId, affinity: int) -> None:
+        """Report a non-final affinity decrement (notify grade)."""
+        http_json(
+            self.directory.redirector(),
+            "POST",
+            "/control/affinity_reduced",
+            payload={"obj": obj, "host": node, "affinity": affinity},
+            timeout=self.timeout,
+        )
+
+    def request_drop(self, node: NodeId, obj: ObjectId) -> dict[str, Any]:
+        """Intention-to-drop arbitration (persistent round trip)."""
+        return _persistent(
+            self.directory.redirector(),
+            "POST",
+            "/control/request_drop",
+            payload={"obj": obj, "host": node},
+            timeout=self.timeout,
+        )
+
+    def load_report(self, node: NodeId, load: float) -> None:
+        """Post this measurement interval's load to the board."""
+        http_json(
+            self.directory.redirector(),
+            "POST",
+            "/control/load_report",
+            payload={"node": node, "load": load},
+            timeout=self.timeout,
+        )
+
+    def offload_candidates(self, exclude: NodeId) -> list[dict[str, Any]]:
+        """Fresh load-board entries, most idle first (Offload, Figure 5)."""
+        reply = http_json(
+            self.directory.redirector(),
+            "GET",
+            f"/control/offload_candidates?exclude={exclude}",
+            timeout=self.timeout,
+        )
+        candidates = reply.get("candidates", [])
+        if not isinstance(candidates, list):
+            raise TransportError("malformed offload candidate list")
+        return candidates

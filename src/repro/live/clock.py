@@ -1,0 +1,61 @@
+"""Wall-clock and test clocks satisfying :class:`repro.core.runtime.Clock`.
+
+The live runtime measures protocol time — measurement intervals,
+placement windows, load-report ages — against :class:`WallClock`, a
+monotonic clock rebased to the deployment's start so live timestamps are
+directly comparable to simulated ones (both start near zero).
+
+:class:`ManualClock` is the deterministic stand-in used by the
+sim-vs-live parity tests: the test advances time explicitly and fires
+the measurement/placement ticks itself, so a live deployment can be
+driven through the exact timeline of a recorded simulation run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ConfigurationError
+from repro.types import Time
+
+
+class WallClock:
+    """Monotonic wall time in seconds since the clock's creation."""
+
+    __slots__ = ("_origin",)
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    @property
+    def now(self) -> Time:
+        return time.monotonic() - self._origin
+
+
+class ManualClock:
+    """A clock advanced explicitly by the test driving it."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: Time = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> Time:
+        return self._now
+
+    def advance(self, delta: Time) -> Time:
+        """Move the clock forward by ``delta`` seconds."""
+        if delta < 0:
+            raise ConfigurationError(f"cannot advance by negative {delta}")
+        self._now += delta
+        return self._now
+
+    def set(self, now: Time) -> Time:
+        """Jump the clock to an absolute time (monotonicity enforced)."""
+        if now < self._now:
+            raise ConfigurationError(
+                f"clock cannot go backwards: {now} < {self._now}"
+            )
+        self._now = float(now)
+        return self._now

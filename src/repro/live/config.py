@@ -1,0 +1,202 @@
+"""Deployment configuration for the live serving runtime.
+
+A :class:`LiveConfig` describes one deployment — how many replica hosts,
+which small backbone topology links them, the object population and its
+initial placement, the listening addresses, and the protocol parameters
+(scaled down from the paper's Table 1 so measurement and placement
+windows are seconds, not minutes, and a laptop demo shows replication
+within its first half-minute).
+
+The config serialises to/from JSON so multi-process deployments can hand
+every role process an identical world view: each process rebuilds the
+same topology, routing database and initial placement from the config
+alone, which is what makes the single-process and multi-process modes
+interchangeable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.config import ProtocolConfig
+from repro.errors import ConfigurationError
+from repro.topology.generators import (
+    line_topology,
+    ring_topology,
+    star_topology,
+    two_cluster_topology,
+)
+from repro.topology.graph import Topology
+from repro.types import NodeId, ObjectId
+
+#: Topology families a live deployment may use.  The paper's UUNET
+#: backbone is deliberately absent: live deployments are small local
+#: clusters, and every topology node must correspond to a running host.
+TOPOLOGIES = {
+    "line": line_topology,
+    "ring": ring_topology,
+    "star": star_topology,
+}
+
+
+def live_protocol_config() -> ProtocolConfig:
+    """Protocol parameters rescaled for wall-clock demos.
+
+    Same shape as Table 1 (``m = 6u``, ``lw < hw``, default ratios) but
+    with second-scale intervals and watermarks sized for a loadgen
+    driving a few hundred requests/sec at a 3-host deployment: at
+    250 req/s a host carries 60-120 req/s, so the low watermark sits
+    above that band (offers stay acceptable under normal demo load)
+    and the high watermark at 80% of the 200 req/s default capacity.
+    """
+    return ProtocolConfig(
+        high_watermark=160.0,
+        low_watermark=120.0,
+        deletion_threshold=0.5,
+        replication_threshold=3.0,
+        measurement_interval=1.0,
+        placement_interval=3.0,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class LiveConfig:
+    """One live deployment: world model plus addresses."""
+
+    num_hosts: int = 3
+    topology: str = "ring"
+    num_objects: int = 24
+    #: Bytes served per object request (and copied per replication).
+    object_size: int = 8192
+    #: Host service capacity in requests/sec (Table 1 uses 200).
+    capacity: float = 200.0
+    storage_limit: int | None = None
+    bind_host: str = "127.0.0.1"
+    #: Redirector listens on ``base_port``; host ``i`` on
+    #: ``base_port + 1 + i``.  0 means "ephemeral ports" (single-process
+    #: deployments only, used by the tests).
+    base_port: int = 8100
+    protocol: ProtocolConfig = field(default_factory=live_protocol_config)
+
+    def __post_init__(self) -> None:
+        if self.num_hosts < 1:
+            raise ConfigurationError("a deployment needs at least one host")
+        if self.topology not in TOPOLOGIES:
+            raise ConfigurationError(
+                f"unknown live topology {self.topology!r}; "
+                f"choose from {sorted(TOPOLOGIES)}"
+            )
+        if self.num_objects < 1:
+            raise ConfigurationError("a deployment needs at least one object")
+        if self.object_size < 1:
+            raise ConfigurationError("object size must be at least 1 byte")
+        if self.capacity <= 0:
+            raise ConfigurationError("host capacity must be positive")
+        if self.base_port != 0 and not 1024 <= self.base_port <= 65535 - self.num_hosts:
+            raise ConfigurationError(
+                f"base port must be 0 (ephemeral) or leave room for "
+                f"{self.num_hosts} host ports below 65536, got {self.base_port}"
+            )
+
+    # ------------------------------------------------------------------
+    # World model
+    # ------------------------------------------------------------------
+
+    def build_topology(self) -> Topology:
+        return TOPOLOGIES[self.topology](self.num_hosts)
+
+    def initial_host(self, obj: ObjectId) -> NodeId:
+        """Original placement: object ``i`` starts on host ``i mod n``."""
+        return obj % self.num_hosts
+
+    def objects_for(self, node: NodeId) -> list[ObjectId]:
+        """The objects whose original placement is ``node``."""
+        return [
+            obj for obj in range(self.num_objects) if self.initial_host(obj) == node
+        ]
+
+    # ------------------------------------------------------------------
+    # Addresses
+    # ------------------------------------------------------------------
+
+    def redirector_address(self) -> tuple[str, int]:
+        return self.bind_host, self.base_port
+
+    def host_address(self, node: NodeId) -> tuple[str, int]:
+        if not 0 <= node < self.num_hosts:
+            raise ConfigurationError(f"no host {node} in a {self.num_hosts}-host deployment")
+        port = 0 if self.base_port == 0 else self.base_port + 1 + node
+        return self.bind_host, port
+
+    # ------------------------------------------------------------------
+    # Serialisation (multi-process role handoff)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        payload["protocol"] = dataclasses.asdict(self.protocol)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "LiveConfig":
+        data = dict(payload)
+        protocol = data.pop("protocol", None)
+        if protocol is not None:
+            data["protocol"] = ProtocolConfig(**protocol)
+        return cls(**data)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "LiveConfig":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def replace(self, **changes: Any) -> "LiveConfig":
+        return dataclasses.replace(self, **changes)
+
+
+class PeerDirectory:
+    """Name → address book for one deployment.
+
+    With fixed ports the directory is complete from the config alone;
+    with ephemeral ports (tests) the deployment fills entries in as each
+    server binds.
+    """
+
+    def __init__(self) -> None:
+        self._hosts: dict[NodeId, tuple[str, int]] = {}
+        self._redirector: tuple[str, int] | None = None
+
+    @classmethod
+    def from_config(cls, config: LiveConfig) -> "PeerDirectory":
+        if config.base_port == 0:
+            raise ConfigurationError(
+                "ephemeral ports need a directory filled at bind time"
+            )
+        directory = cls()
+        directory.set_redirector(config.redirector_address())
+        for node in range(config.num_hosts):
+            directory.set_host(node, config.host_address(node))
+        return directory
+
+    def set_host(self, node: NodeId, address: tuple[str, int]) -> None:
+        self._hosts[node] = address
+
+    def set_redirector(self, address: tuple[str, int]) -> None:
+        self._redirector = address
+
+    def host(self, node: NodeId) -> tuple[str, int]:
+        try:
+            return self._hosts[node]
+        except KeyError:
+            raise ConfigurationError(f"no address known for host {node}") from None
+
+    def redirector(self) -> tuple[str, int]:
+        if self._redirector is None:
+            raise ConfigurationError("no address known for the redirector")
+        return self._redirector
+
+    def hosts(self) -> dict[NodeId, tuple[str, int]]:
+        return dict(self._hosts)

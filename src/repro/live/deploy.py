@@ -1,0 +1,255 @@
+"""Deployment orchestration: wiring roles, signals, and shutdown export.
+
+:class:`LocalDeployment` runs the whole deployment — one redirector and
+every replica host — on a single event loop, which is how the demo, the
+CI smoke job and the tests run it.  The same component classes also run
+one-per-process (``python -m repro serve --role redirector|host``) for a
+genuinely distributed deployment; the :class:`LiveConfig` JSON handed to
+each process pins fixed ports so every process derives the same peer
+directory.
+
+Shutdown is signal-driven: SIGINT/SIGTERM set a stop event, the servers
+and timers are torn down in order (hosts first, so no control call races
+a closed redirector), and the final metrics snapshot (and the decision
+trace, when enabled) is written before the process exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+
+from repro.errors import ConfigurationError
+from repro.obs.export import write_jsonl
+from repro.obs.tracer import DecisionTracer
+from repro.routing.routes_db import RoutingDatabase
+from repro.types import NodeId
+
+from repro.live.clock import WallClock
+from repro.live.config import LiveConfig, PeerDirectory
+from repro.live.host import LiveHostNode
+from repro.live.metrics import summarize_deployment, write_metrics
+from repro.live.redirector import LiveRedirector
+
+
+class LocalDeployment:
+    """Every role of one deployment, on the caller's event loop."""
+
+    def __init__(
+        self,
+        config: LiveConfig,
+        *,
+        clock=None,
+        trace: bool = False,
+    ) -> None:
+        self.config = config
+        self.clock = clock if clock is not None else WallClock()
+        self.routes = RoutingDatabase(config.build_topology())
+        self.tracer: DecisionTracer | None = None
+        if trace:
+            self.tracer = DecisionTracer()
+            self.tracer.bind_clock(lambda: self.clock.now)
+        if config.base_port == 0:
+            self.directory = PeerDirectory()
+        else:
+            self.directory = PeerDirectory.from_config(config)
+        self.redirector = LiveRedirector(
+            config, self.routes, self.clock, self.directory, tracer=self.tracer
+        )
+        self.hosts = [
+            LiveHostNode(
+                node, config, self.routes, self.clock, self.directory,
+                tracer=self.tracer,
+            )
+            for node in range(config.num_hosts)
+        ]
+
+    async def start(self, *, timers: bool = True) -> None:
+        """Bind every server, resolve the directory, start the timers.
+
+        Timers start only after every address is known, so the first
+        placement round can never fire into an unresolved directory.
+        """
+        port = await self.redirector.start()
+        self.directory.set_redirector((self.config.bind_host, port))
+        for host in self.hosts:
+            port = await host.start(timers=False)
+            self.directory.set_host(host.node, (self.config.bind_host, port))
+        if timers:
+            for host in self.hosts:
+                host.start_timers()
+
+    async def stop(self) -> None:
+        for host in self.hosts:
+            await host.stop()
+        await self.redirector.stop()
+
+    def snapshot(self) -> dict:
+        """Deployment-wide state, read in-process (no HTTP)."""
+        return {
+            "kind": "live-deployment",
+            "time": self.clock.now,
+            "config": self.config.to_dict(),
+            "redirector": self.redirector.snapshot(),
+            "hosts": [host.snapshot() for host in self.hosts],
+        }
+
+    def replica_placement(self) -> dict[int, dict[int, int]]:
+        """``{obj: {host: affinity}}`` from the redirector registry
+        (the quantity the sim-vs-live parity test compares)."""
+        registry = self.redirector.snapshot()["registry"]
+        return {
+            int(obj): {int(host): affinity for host, affinity in replicas.items()}
+            for obj, replicas in registry.items()
+        }
+
+
+async def _wait_for_stop() -> None:
+    """Block until SIGINT or SIGTERM (restoring handlers afterwards)."""
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.remove_signal_handler(signum)
+
+
+def _export(
+    snapshot: dict,
+    tracer: DecisionTracer | None,
+    metrics_path: str | None,
+    trace_path: str | None,
+) -> None:
+    if metrics_path:
+        payload = write_metrics(metrics_path, snapshot)
+        print(f"metrics -> {metrics_path}", file=sys.stderr)
+        summary = payload["summary"]
+    else:
+        summary = summarize_deployment(snapshot)
+    for key in ("requests_serviced", "relocations", "replica_drops",
+                "replicas_total"):
+        if key in summary:
+            print(f"  {key}: {summary[key]}", file=sys.stderr)
+    if trace_path and tracer is not None:
+        count = write_jsonl(tracer.records(), trace_path)
+        print(f"trace -> {trace_path} ({count} records)", file=sys.stderr)
+
+
+async def serve_all(
+    config: LiveConfig,
+    *,
+    metrics_path: str | None = None,
+    trace_path: str | None = None,
+    duration: float | None = None,
+) -> dict:
+    """Run the whole deployment until signalled (or for ``duration`` s)."""
+    deployment = LocalDeployment(config, trace=trace_path is not None)
+    await deployment.start()
+    addr = deployment.directory.redirector()
+    print(
+        f"live deployment up: redirector http://{addr[0]}:{addr[1]} "
+        f"+ {config.num_hosts} hosts ({config.topology})",
+        file=sys.stderr,
+    )
+    try:
+        if duration is not None:
+            await asyncio.sleep(duration)
+        else:
+            await _wait_for_stop()
+    finally:
+        snapshot = deployment.snapshot()
+        await deployment.stop()
+        _export(snapshot, deployment.tracer, metrics_path, trace_path)
+    return snapshot
+
+
+async def serve_redirector(
+    config: LiveConfig, *, metrics_path: str | None = None
+) -> dict:
+    """Run only the redirector role (multi-process deployments)."""
+    _require_fixed_ports(config)
+    routes = RoutingDatabase(config.build_topology())
+    directory = PeerDirectory.from_config(config)
+    redirector = LiveRedirector(config, routes, WallClock(), directory)
+    port = await redirector.start()
+    print(f"redirector up on {config.bind_host}:{port}", file=sys.stderr)
+    try:
+        await _wait_for_stop()
+    finally:
+        snapshot = {
+            "kind": "live-redirector",
+            "redirector": redirector.snapshot(),
+            "hosts": [],
+        }
+        await redirector.stop()
+        if metrics_path:
+            write_metrics(metrics_path, snapshot)
+    return snapshot
+
+
+async def serve_host(
+    config: LiveConfig, node: NodeId, *, metrics_path: str | None = None
+) -> dict:
+    """Run one replica-host role (multi-process deployments)."""
+    _require_fixed_ports(config)
+    if not 0 <= node < config.num_hosts:
+        raise ConfigurationError(
+            f"--node must be in [0, {config.num_hosts}), got {node}"
+        )
+    routes = RoutingDatabase(config.build_topology())
+    directory = PeerDirectory.from_config(config)
+    host = LiveHostNode(node, config, routes, WallClock(), directory)
+    port = await host.start(timers=True)
+    print(f"host {node} up on {config.bind_host}:{port}", file=sys.stderr)
+    try:
+        await _wait_for_stop()
+    finally:
+        snapshot = {
+            "kind": "live-host",
+            "redirector": {},
+            "hosts": [host.snapshot()],
+        }
+        await host.stop()
+        if metrics_path:
+            write_metrics(metrics_path, snapshot)
+    return snapshot
+
+
+def _require_fixed_ports(config: LiveConfig) -> None:
+    if config.base_port == 0:
+        raise ConfigurationError(
+            "multi-process roles need fixed ports (base_port != 0) so every "
+            "process derives the same peer directory"
+        )
+
+
+def load_config(path: str | None, overrides: dict) -> LiveConfig:
+    """Build a LiveConfig from an optional JSON file plus CLI overrides."""
+    config = LiveConfig.from_file(path) if path else LiveConfig()
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    protocol_overrides = {
+        k: overrides.pop(k)
+        for k in ("measurement_interval", "placement_interval",
+                  "high_watermark", "low_watermark")
+        if k in overrides
+    }
+    if protocol_overrides:
+        config = config.replace(
+            protocol=config.protocol.replace(**protocol_overrides)
+        )
+    if overrides:
+        config = config.replace(**overrides)
+    return config
+
+
+__all__ = [
+    "LocalDeployment",
+    "load_config",
+    "serve_all",
+    "serve_host",
+    "serve_redirector",
+]

@@ -1,0 +1,288 @@
+"""A minimal asyncio HTTP/1.1 server with pattern routing.
+
+The container ships no third-party HTTP stack, so the live runtime
+carries its own: just enough HTTP/1.1 over :func:`asyncio.start_server`
+for the control plane and data plane — request-line + headers parsing,
+``Content-Length`` bodies, keep-alive, JSON helpers, and a router with
+``{name}`` path captures.  Anything outside that envelope gets a 400.
+
+Handlers are ``async def handler(request, params) -> Response`` and run
+on the event loop; blocking work (outbound synchronous control calls)
+must be pushed to a thread with :func:`asyncio.to_thread` so a handler
+never stalls the loop that its peers in the same process are served
+from.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from collections.abc import Awaitable, Callable
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+log = logging.getLogger(__name__)
+
+#: Upper bounds keeping a misbehaving peer from ballooning memory.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_STATUS_PHRASES = {
+    200: "OK",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class BadRequest(Exception):
+    """The peer sent something outside the supported HTTP envelope."""
+
+
+@dataclass(slots=True)
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """Decode the body as a JSON object (400 on anything else)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except ValueError as exc:
+            raise BadRequest(f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise BadRequest("JSON body must be an object")
+        return payload
+
+
+@dataclass(slots=True)
+class Response:
+    """One HTTP response; ``json_response`` is the common constructor."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/octet-stream"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def encode(self, *, keep_alive: bool) -> bytes:
+        phrase = _STATUS_PHRASES.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {phrase}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in self.headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        return head + self.body
+
+
+def json_response(payload: object, status: int = 200) -> Response:
+    return Response(
+        status=status,
+        body=json.dumps(payload).encode("utf-8"),
+        content_type="application/json",
+    )
+
+
+def error_response(status: int, message: str) -> Response:
+    return json_response({"error": message}, status=status)
+
+
+Handler = Callable[[Request, dict[str, str]], Awaitable[Response]]
+
+
+class Router:
+    """Maps ``METHOD /path/{capture}`` patterns to async handlers."""
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, tuple[str, ...], Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        segments = tuple(pattern.strip("/").split("/")) if pattern.strip("/") else ()
+        self._routes.append((method.upper(), segments, handler))
+
+    def resolve(
+        self, method: str, path: str
+    ) -> tuple[Handler, dict[str, str]] | int:
+        """Find a handler, or the error status (404/405) to return."""
+        segments = tuple(path.strip("/").split("/")) if path.strip("/") else ()
+        path_matched = False
+        for route_method, route_segments, handler in self._routes:
+            params = _match_segments(route_segments, segments)
+            if params is None:
+                continue
+            path_matched = True
+            if route_method == method.upper():
+                return handler, params
+        return 405 if path_matched else 404
+
+
+def _match_segments(
+    pattern: tuple[str, ...], segments: tuple[str, ...]
+) -> dict[str, str] | None:
+    if len(pattern) != len(segments):
+        return None
+    params: dict[str, str] = {}
+    for expected, actual in zip(pattern, segments):
+        if expected.startswith("{") and expected.endswith("}"):
+            params[expected[1:-1]] = actual
+        elif expected != actual:
+            return None
+    return params
+
+
+class HttpServer:
+    """Serve a :class:`Router` on one listening socket."""
+
+    def __init__(self, router: Router, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.router = router
+        self.host = host
+        self.port = port
+        self._server: asyncio.Server | None = None
+
+    async def start(self) -> int:
+        """Bind and start accepting; returns the bound port."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except BadRequest as exc:
+                    writer.write(
+                        error_response(400, str(exc)).encode(keep_alive=False)
+                    )
+                    await writer.drain()
+                    break
+                if request is None:  # clean EOF between requests
+                    break
+                keep_alive = (
+                    request.headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                response = await self._dispatch(request)
+                writer.write(response.encode(keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away mid-exchange; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+            except asyncio.CancelledError:  # pragma: no cover - loop shutdown
+                # The event loop is tearing down mid-close; the socket is
+                # already closed, so finishing quietly beats letting the
+                # streams connection_made callback log the cancellation.
+                pass
+
+    async def _dispatch(self, request: Request) -> Response:
+        resolved = self.router.resolve(request.method, request.path)
+        if isinstance(resolved, int):
+            return error_response(resolved, f"no route for {request.path}")
+        handler, params = resolved
+        try:
+            return await handler(request, params)
+        except BadRequest as exc:
+            return error_response(400, str(exc))
+        except Exception:  # noqa: BLE001 - server must answer, not die
+            log.exception(
+                "handler error for %s %s", request.method, request.path
+            )
+            return error_response(500, "internal error")
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream; None on clean EOF."""
+    try:
+        raw_line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise BadRequest("truncated request line") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise BadRequest("request line too long") from exc
+    if len(raw_line) > MAX_REQUEST_LINE:
+        raise BadRequest("request line too long")
+    parts = raw_line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest("malformed request line")
+    method, target, _version = parts
+
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        try:
+            raw_header = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as exc:
+            raise BadRequest("truncated headers") from exc
+        if raw_header == b"\r\n":
+            break
+        header_bytes += len(raw_header)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise BadRequest("headers too large")
+        name, sep, value = raw_header.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest("malformed header line")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise BadRequest("bad Content-Length") from exc
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise BadRequest("body too large")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise BadRequest("truncated body") from exc
+    elif headers.get("transfer-encoding"):
+        raise BadRequest("chunked bodies not supported")
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return Request(
+        method=method.upper(),
+        path=split.path or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )

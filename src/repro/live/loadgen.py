@@ -1,0 +1,316 @@
+"""The load generator: replay workload models against a live deployment.
+
+Drives real HTTP requests through the redirector at a target open-loop
+rate, reusing the simulator's workload samplers (uniform, zipf,
+hot_sites, regional) so a live run exercises the same popularity
+structure as the corresponding simulated scenario.  Each request is two
+exchanges, exactly the paper's request flow: ``GET /route`` at the
+redirector (ChooseReplica) and then ``GET /obj/...`` at the chosen host.
+A host answering 409 (its replica moved after routing) triggers one
+retry through the redirector, mirroring the simulator's stale-view
+retry path.
+
+The run can be split into *phases*: each later phase applies a fresh
+seeded permutation to the sampled object ids, shifting which objects are
+popular.  Replicas created for phase-1 favourites then fall below the
+deletion threshold ``u`` during phase 2 — this is what makes a short
+demo show dynamic drops as well as replications.
+
+Client-side metrics (latency percentiles, achieved rate, per-server
+distribution) use the same key style as ``scenario_metrics`` so the
+shared report tooling renders them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from urllib.parse import urlsplit
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.topology.graph import Topology
+from repro.types import NodeId, ObjectId
+from repro.workloads.base import UniformWorkload, Workload
+from repro.workloads.hot_sites import HotSitesWorkload
+from repro.workloads.regional import RegionalWorkload
+from repro.workloads.zipf import ZipfWorkload
+
+from repro.live.config import LiveConfig
+
+WORKLOADS = ("uniform", "zipf", "hot_sites", "regional")
+
+
+class GatewayPreferredWorkload(Workload):
+    """Regional locality for region-less live topologies.
+
+    The paper's regional workload needs region labels the small live
+    topologies do not carry, so each gateway acts as its own region:
+    with probability ``preferred_prob`` it requests from its own
+    contiguous slice of the namespace, else uniformly.
+    """
+
+    def __init__(
+        self, num_objects: int, num_nodes: int, *, preferred_prob: float = 0.9
+    ) -> None:
+        super().__init__(num_objects)
+        if num_objects < num_nodes:
+            raise WorkloadError(
+                "gateway-preferred workload needs at least one object per node"
+            )
+        self.preferred_prob = preferred_prob
+        slice_size = num_objects // num_nodes
+        self._slices = {
+            node: range(node * slice_size, (node + 1) * slice_size)
+            for node in range(num_nodes)
+        }
+
+    def sample(self, gateway: NodeId, rng: random.Random) -> ObjectId:
+        preferred = self._slices.get(gateway)
+        if preferred is not None and rng.random() < self.preferred_prob:
+            return preferred[rng.randrange(len(preferred))]
+        return rng.randrange(self.num_objects)
+
+    @property
+    def name(self) -> str:
+        return "gateway-preferred"
+
+
+def build_live_workload(
+    name: str, config: LiveConfig, topology: Topology, rng: random.Random
+) -> Workload:
+    if name == "uniform":
+        return UniformWorkload(config.num_objects)
+    if name == "zipf":
+        return ZipfWorkload(config.num_objects)
+    if name == "hot_sites":
+        return HotSitesWorkload(
+            config.num_objects, config.num_hosts, split_rng=rng
+        )
+    if name == "regional":
+        if topology.has_regions:
+            return RegionalWorkload(config.num_objects, topology)
+        return GatewayPreferredWorkload(config.num_objects, config.num_hosts)
+    raise ConfigurationError(
+        f"unknown live workload {name!r}; choose from {WORKLOADS}"
+    )
+
+
+@dataclass(slots=True)
+class LoadgenOptions:
+    """Knobs for one load-generation run."""
+
+    workload: str = "zipf"
+    #: Open-loop arrival rate, requests/sec across all gateways.
+    rate: float = 120.0
+    requests: int = 1000
+    seed: int = 1
+    #: Popularity phases: ids are re-permuted at each phase boundary.
+    phases: int = 1
+    concurrency: int = 64
+    timeout: float = 10.0
+
+    def validate(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ConfigurationError(
+                f"unknown workload {self.workload!r}; choose from {WORKLOADS}"
+            )
+        if self.rate <= 0:
+            raise ConfigurationError("rate must be positive")
+        if self.requests < 1:
+            raise ConfigurationError("need at least one request")
+        if self.phases < 1:
+            raise ConfigurationError("need at least one phase")
+        if self.concurrency < 1:
+            raise ConfigurationError("concurrency must be at least 1")
+
+
+@dataclass(slots=True)
+class LoadgenStats:
+    """Client-observed outcome of a load-generation run."""
+
+    completed: int = 0
+    failed: int = 0
+    retries: int = 0
+    bytes_received: int = 0
+    elapsed: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+    per_server: dict[int, int] = field(default_factory=dict)
+
+    def summary(self) -> dict:
+        ordered = sorted(self.latencies)
+
+        def percentile(q: float) -> float:
+            if not ordered:
+                return 0.0
+            index = min(len(ordered) - 1, int(q * len(ordered)))
+            return ordered[index]
+
+        issued = self.completed + self.failed
+        return {
+            "requests_issued": issued,
+            "requests_completed": self.completed,
+            "requests_failed": self.failed,
+            "request_retries": self.retries,
+            "bytes_received": self.bytes_received,
+            "elapsed_seconds": self.elapsed,
+            "achieved_rps": self.completed / self.elapsed if self.elapsed else 0.0,
+            "latency_mean_ms": (
+                sum(ordered) / len(ordered) * 1000.0 if ordered else 0.0
+            ),
+            "latency_p50_ms": percentile(0.50) * 1000.0,
+            "latency_p95_ms": percentile(0.95) * 1000.0,
+            "latency_p99_ms": percentile(0.99) * 1000.0,
+            "servers_seen": len(self.per_server),
+        }
+
+
+# ----------------------------------------------------------------------
+# A tiny async HTTP/1.1 GET client (connection per request)
+# ----------------------------------------------------------------------
+
+
+async def _http_get(
+    host: str, port: int, path: str, timeout: float
+) -> tuple[int, dict[str, str], bytes]:
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        writer.write(
+            (
+                f"GET {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode("ascii")
+        )
+        await writer.drain()
+        status_line = await asyncio.wait_for(reader.readline(), timeout)
+        parts = status_line.decode("latin-1").split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise ConnectionError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
+        body = await asyncio.wait_for(reader.readexactly(length), timeout)
+        return status, headers, body
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _phase_permutations(
+    num_objects: int, phases: int, seed: int
+) -> list[list[int]]:
+    """Identity for phase 0, a fresh seeded shuffle per later phase."""
+    permutations = [list(range(num_objects))]
+    for phase in range(1, phases):
+        perm = list(range(num_objects))
+        random.Random(seed * 1000003 + phase).shuffle(perm)
+        permutations.append(perm)
+    return permutations
+
+
+async def run_loadgen(
+    redirector: tuple[str, int],
+    config: LiveConfig,
+    options: LoadgenOptions,
+    *,
+    on_progress=None,
+) -> LoadgenStats:
+    """Drive ``options.requests`` real requests through the deployment."""
+    options.validate()
+    topology = config.build_topology()
+    rng = random.Random(options.seed)
+    workload = build_live_workload(options.workload, config, topology, rng)
+    permutations = _phase_permutations(
+        config.num_objects, options.phases, options.seed
+    )
+    gateways = list(topology.nodes)
+    stats = LoadgenStats()
+    semaphore = asyncio.Semaphore(options.concurrency)
+    host, port = redirector
+
+    async def one_request(obj: ObjectId, gateway: NodeId) -> None:
+        async with semaphore:
+            started = time.monotonic()
+            try:
+                exclude: int | None = None
+                for attempt in range(2):
+                    route_path = f"/route?obj={obj}&gateway={gateway}"
+                    if exclude is not None:
+                        route_path += f"&exclude={exclude}"
+                    status, _headers, body = await _http_get(
+                        host, port, route_path, options.timeout
+                    )
+                    if status != 200:
+                        raise ConnectionError(f"route -> {status}")
+                    route = json.loads(body)
+                    split = urlsplit(route["url"])
+                    status, _headers, body = await _http_get(
+                        split.hostname,
+                        split.port,
+                        f"{split.path}?{split.query}",
+                        options.timeout,
+                    )
+                    if status == 200:
+                        server = int(route["server"])
+                        stats.completed += 1
+                        stats.bytes_received += len(body)
+                        stats.latencies.append(time.monotonic() - started)
+                        stats.per_server[server] = (
+                            stats.per_server.get(server, 0) + 1
+                        )
+                        return
+                    if status == 409 and attempt == 0:
+                        # Stale routing: the replica moved after the
+                        # redirector answered.  One retry via /route.
+                        stats.retries += 1
+                        exclude = int(route["server"])
+                        continue
+                    raise ConnectionError(f"object fetch -> {status}")
+                stats.failed += 1
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+                ValueError,
+                KeyError,
+            ):
+                stats.failed += 1
+
+    run_started = time.monotonic()
+    interval = 1.0 / options.rate
+    tasks: set[asyncio.Task] = set()
+    for index in range(options.requests):
+        phase = min(
+            options.phases - 1, index * options.phases // options.requests
+        )
+        gateway = rng.choice(gateways)
+        obj = permutations[phase][workload.sample(gateway, rng)]
+        target = run_started + index * interval
+        delay = target - time.monotonic()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        task = asyncio.create_task(one_request(obj, gateway))
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+        if on_progress is not None and (index + 1) % 250 == 0:
+            on_progress(index + 1, options.requests)
+    if tasks:
+        await asyncio.gather(*tasks, return_exceptions=True)
+    stats.elapsed = time.monotonic() - run_started
+    return stats

@@ -1,0 +1,218 @@
+"""The live redirector: ChooseReplica over HTTP plus the control plane.
+
+Wraps the *unchanged* :class:`~repro.core.redirector.RedirectorService`
+(Figure 2 and the replica-set registry) and the
+:class:`~repro.core.load_board.LoadReportBoard` behind HTTP endpoints:
+
+* ``GET /route?obj=&gateway=`` — run ChooseReplica, answer with the
+  chosen host's URL (the live analogue of the simulator handing a
+  request straight to the chosen host);
+* ``POST /control/replica_created|affinity_reduced|request_drop`` — the
+  registry notices and drop arbitration of Section 4.2.1;
+* ``POST /control/load_report`` / ``GET /control/offload_candidates`` —
+  the load board feeding Offload recipient discovery.
+
+Load reports are stamped with the *redirector's* clock on receipt, not
+the sender's: report expiry is a freshness judgement and only the
+arbiter's clock is guaranteed monotone across a multi-process
+deployment.
+
+Every handler touches only in-process state, so they run directly on
+the event loop — the redirector never blocks on a peer, which is what
+lets CreateObj handlers elsewhere call into it synchronously without
+deadlock in single-process deployments.
+"""
+
+from __future__ import annotations
+
+from repro.core.load_board import LoadReportBoard
+from repro.core.redirector import RedirectorService
+from repro.core.runtime import Clock
+from repro.errors import ProtocolError
+from repro.obs.tracer import ProtocolTracer
+from repro.routing.routes_db import RoutingDatabase
+
+from repro.live.config import LiveConfig, PeerDirectory
+from repro.live.httpd import (
+    HttpServer,
+    Request,
+    Response,
+    Router,
+    error_response,
+    json_response,
+)
+
+
+class LiveRedirector:
+    """One redirector process for a live deployment."""
+
+    def __init__(
+        self,
+        config: LiveConfig,
+        routes: RoutingDatabase,
+        clock: Clock,
+        directory: PeerDirectory,
+        *,
+        tracer: ProtocolTracer | None = None,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.directory = directory
+        # The paper's evaluation places the (single) redirector at the
+        # node with minimum mean distance; its node id only labels the
+        # service here, the process listens on its own port.
+        self.service = RedirectorService(
+            routes.min_mean_distance_node(),
+            routes,
+            distribution_constant=config.protocol.distribution_constant,
+        )
+        self.service.tracer = tracer
+        expiry = None
+        if config.protocol.report_expiry_intervals is not None:
+            expiry = (
+                config.protocol.report_expiry_intervals
+                * config.protocol.measurement_interval
+            )
+        self.board = LoadReportBoard(expiry=expiry)
+        for obj in range(config.num_objects):
+            self.service.register_initial(obj, config.initial_host(obj))
+        #: Requests routed, for the metrics snapshot.
+        self.routed_total = 0
+        self.unroutable_total = 0
+        bind_host, port = config.redirector_address()
+        self.server = HttpServer(self._build_router(), host=bind_host, port=port)
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    def _build_router(self) -> Router:
+        router = Router()
+        router.add("GET", "/route", self._route)
+        router.add("POST", "/control/replica_created", self._replica_created)
+        router.add("POST", "/control/affinity_reduced", self._affinity_reduced)
+        router.add("POST", "/control/request_drop", self._request_drop)
+        router.add("POST", "/control/load_report", self._load_report)
+        router.add("GET", "/control/offload_candidates", self._offload_candidates)
+        router.add("GET", "/metrics", self._metrics)
+        router.add("GET", "/healthz", self._healthz)
+        return router
+
+    async def _route(self, request: Request, params: dict) -> Response:
+        try:
+            obj = int(request.query["obj"])
+            gateway = int(request.query.get("gateway", 0))
+            exclude = (
+                int(request.query["exclude"])
+                if "exclude" in request.query
+                else None
+            )
+        except (KeyError, ValueError):
+            return error_response(400, "route needs integer obj= and gateway=")
+        if not self.service.knows(obj):
+            return error_response(404, f"unknown object {obj}")
+        server = self.service.choose_replica(gateway, obj, exclude=exclude)
+        if server is None:
+            self.unroutable_total += 1
+            return error_response(503, f"no available replica of {obj}")
+        self.routed_total += 1
+        host, port = self.directory.host(server)
+        return json_response(
+            {
+                "server": server,
+                "url": f"http://{host}:{port}/obj/{obj}?gateway={gateway}",
+            }
+        )
+
+    async def _replica_created(self, request: Request, params: dict) -> Response:
+        payload = request.json()
+        try:
+            self.service.replica_created(
+                int(payload["obj"]), int(payload["host"]), int(payload["affinity"])
+            )
+        except (KeyError, ValueError):
+            return error_response(400, "replica_created needs obj, host, affinity")
+        except ProtocolError as exc:
+            return error_response(409, str(exc))
+        return json_response({"ok": True})
+
+    async def _affinity_reduced(self, request: Request, params: dict) -> Response:
+        payload = request.json()
+        try:
+            self.service.affinity_reduced(
+                int(payload["obj"]), int(payload["host"]), int(payload["affinity"])
+            )
+        except (KeyError, ValueError):
+            return error_response(400, "affinity_reduced needs obj, host, affinity")
+        except ProtocolError as exc:
+            return error_response(409, str(exc))
+        return json_response({"ok": True})
+
+    async def _request_drop(self, request: Request, params: dict) -> Response:
+        payload = request.json()
+        try:
+            approved = self.service.request_drop(
+                int(payload["obj"]), int(payload["host"])
+            )
+        except (KeyError, ValueError):
+            return error_response(400, "request_drop needs obj and host")
+        except ProtocolError as exc:
+            return error_response(409, str(exc))
+        return json_response({"approved": approved})
+
+    async def _load_report(self, request: Request, params: dict) -> Response:
+        payload = request.json()
+        try:
+            self.board.report(
+                int(payload["node"]), float(payload["load"]), self.clock.now
+            )
+        except (KeyError, ValueError):
+            return error_response(400, "load_report needs node and load")
+        return json_response({"ok": True})
+
+    async def _offload_candidates(self, request: Request, params: dict) -> Response:
+        try:
+            exclude = int(request.query.get("exclude", -1))
+        except ValueError:
+            return error_response(400, "exclude must be an integer node id")
+        candidates = self.board.candidates(
+            exclude=exclude if exclude >= 0 else None, now=self.clock.now
+        )
+        return json_response(
+            {"candidates": [{"node": node, "load": load} for node, load in candidates]}
+        )
+
+    async def _metrics(self, request: Request, params: dict) -> Response:
+        return json_response(self.snapshot())
+
+    async def _healthz(self, request: Request, params: dict) -> Response:
+        return json_response({"ok": True, "role": "redirector"})
+
+    # ------------------------------------------------------------------
+    # Lifecycle and metrics
+    # ------------------------------------------------------------------
+
+    async def start(self) -> int:
+        return await self.server.start()
+
+    async def stop(self) -> None:
+        await self.server.stop()
+
+    def snapshot(self) -> dict:
+        service = self.service
+        registry = {
+            str(obj): {
+                str(host): service.affinity(obj, host)
+                for host in service.replica_hosts(obj)
+            }
+            for obj in range(self.config.num_objects)
+        }
+        return {
+            "role": "redirector",
+            "registry": registry,
+            "total_replicas": service.total_replicas(),
+            "routed_total": self.routed_total,
+            "unroutable_total": self.unroutable_total,
+            "chose_closest": service.chose_closest,
+            "chose_least_requested": service.chose_least_requested,
+        }

@@ -60,6 +60,12 @@ class ScenarioConfig:
     #: Network fault model (robustness extension).  Disabled by default,
     #: which keeps the run byte-identical to the reliable simulator.
     faults: FaultConfig = field(default_factory=FaultConfig)
+    #: Run :meth:`HostingSystem.check_invariants` at the end of the run
+    #: (registry-subset and affinity consistency).  Opt-in: the checks
+    #: are O(objects x replicas) and belong in tests and debugging runs,
+    #: not in every benchmark sweep.  Excluded from the sweep spec hash —
+    #: it verifies a run without changing what runs.
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.duration <= 0:

@@ -348,7 +348,8 @@ def run_scenario(
     system.stop()
     replicas.stop()
     loads.finalize()
-    system.check_invariants()
+    if config.check_invariants:
+        system.check_invariants()
     return ScenarioResult(
         config=config,
         system=system,

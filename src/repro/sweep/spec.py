@@ -169,11 +169,16 @@ class SweepSpec:
         """Short content hash identifying the sweep (manifest/baseline key).
 
         Canonical-JSON over the base config, resolved seeds and points;
-        any change to what would run changes the hash.
+        any change to what would run changes the hash.  Pure verification
+        toggles (``check_invariants``) are excluded: they assert about a
+        run without changing it, and including them would invalidate
+        committed baselines whose runs are identical.
         """
+        base = dataclasses.asdict(self.base)
+        base.pop("check_invariants", None)
         payload = {
             "name": self.name,
-            "base": dataclasses.asdict(self.base),
+            "base": base,
             "seeds": list(self.resolved_seeds()),
             "points": [dict(sorted(p.items())) for p in self.points],
         }

@@ -1,0 +1,49 @@
+"""Tests for the live runtime's wall and manual clocks."""
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.live.clock import ManualClock, WallClock
+
+
+def test_wall_clock_starts_near_zero_and_advances():
+    clock = WallClock()
+    first = clock.now
+    assert 0.0 <= first < 1.0
+    time.sleep(0.01)
+    assert clock.now > first
+
+
+def test_wall_clocks_have_independent_origins():
+    a = WallClock()
+    time.sleep(0.01)
+    b = WallClock()
+    assert b.now < a.now
+
+
+def test_manual_clock_advance_and_set():
+    clock = ManualClock()
+    assert clock.now == 0.0
+    clock.advance(2.5)
+    assert clock.now == 2.5
+    clock.set(10.0)
+    assert clock.now == 10.0
+    clock.set(10.0)  # setting to the same instant is fine
+    assert clock.now == 10.0
+
+
+def test_manual_clock_start_offset():
+    assert ManualClock(start=42.0).now == 42.0
+
+
+def test_manual_clock_rejects_negative_advance():
+    with pytest.raises(ConfigurationError):
+        ManualClock().advance(-1.0)
+
+
+def test_manual_clock_rejects_backwards_set():
+    clock = ManualClock(start=5.0)
+    with pytest.raises(ConfigurationError):
+        clock.set(4.0)

@@ -1,0 +1,101 @@
+"""Tests for the load generator's samplers, options and statistics."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.live.config import LiveConfig
+from repro.live.loadgen import (
+    GatewayPreferredWorkload,
+    LoadgenOptions,
+    LoadgenStats,
+    _phase_permutations,
+    build_live_workload,
+)
+
+
+def test_phase_permutations_identity_then_shuffles():
+    perms = _phase_permutations(10, 3, seed=5)
+    assert perms[0] == list(range(10))
+    for perm in perms[1:]:
+        assert sorted(perm) == list(range(10))
+        assert perm != list(range(10))
+    assert perms[1] != perms[2]
+
+
+def test_phase_permutations_deterministic_across_calls():
+    assert _phase_permutations(50, 4, seed=9) == _phase_permutations(50, 4, seed=9)
+    assert _phase_permutations(50, 2, seed=9) != _phase_permutations(50, 2, seed=10)
+
+
+def test_gateway_preferred_biases_to_own_slice():
+    workload = GatewayPreferredWorkload(30, 3, preferred_prob=0.9)
+    rng = random.Random(1)
+    samples = [workload.sample(1, rng) for _ in range(500)]
+    assert all(0 <= obj < 30 for obj in samples)
+    in_slice = sum(1 for obj in samples if 10 <= obj < 20)
+    assert in_slice > 400  # ~93% expected: 90% preferred + 1/3 of the rest
+
+
+def test_gateway_preferred_needs_enough_objects():
+    with pytest.raises(WorkloadError):
+        GatewayPreferredWorkload(2, 3)
+
+
+def test_build_live_workload_names():
+    config = LiveConfig(num_objects=24)
+    topology = config.build_topology()
+    rng = random.Random(1)
+    for name in ("uniform", "zipf", "hot_sites"):
+        workload = build_live_workload(name, config, topology, rng)
+        assert workload.num_objects == 24
+    # The small live topologies carry no region labels, so "regional"
+    # falls back to the gateway-preferred locality model.
+    regional = build_live_workload("regional", config, topology, rng)
+    assert regional.name == "gateway-preferred"
+    with pytest.raises(ConfigurationError):
+        build_live_workload("nope", config, topology, rng)
+
+
+@pytest.mark.parametrize(
+    "changes",
+    [
+        {"workload": "nope"},
+        {"rate": 0.0},
+        {"requests": 0},
+        {"phases": 0},
+        {"concurrency": 0},
+    ],
+)
+def test_options_validation(changes):
+    options = LoadgenOptions(**changes)
+    with pytest.raises(ConfigurationError):
+        options.validate()
+
+
+def test_stats_summary_math():
+    stats = LoadgenStats(
+        completed=8,
+        failed=2,
+        retries=1,
+        bytes_received=800,
+        elapsed=4.0,
+        latencies=[0.010 * (i + 1) for i in range(8)],
+        per_server={0: 5, 2: 3},
+    )
+    summary = stats.summary()
+    assert summary["requests_issued"] == 10
+    assert summary["requests_completed"] == 8
+    assert summary["requests_failed"] == 2
+    assert summary["achieved_rps"] == pytest.approx(2.0)
+    assert summary["latency_mean_ms"] == pytest.approx(45.0)
+    assert summary["latency_p50_ms"] == pytest.approx(50.0)
+    assert summary["servers_seen"] == 2
+
+
+def test_stats_summary_empty_run():
+    summary = LoadgenStats().summary()
+    assert summary["requests_issued"] == 0
+    assert summary["achieved_rps"] == 0.0
+    assert summary["latency_p99_ms"] == 0.0

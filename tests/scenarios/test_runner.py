@@ -18,7 +18,8 @@ from repro.topology.uunet import uunet_backbone
 
 def tiny_config(**overrides):
     base = paper_scenario("uniform", scale=0.05, duration=120.0, seed=3)
-    return base.replace(bucket=30.0, **overrides)
+    # Every runner test doubles as an invariant check (opt-in flag).
+    return base.replace(bucket=30.0, check_invariants=True, **overrides)
 
 
 def test_run_scenario_produces_consistent_results():

@@ -24,6 +24,23 @@ Exit code 0 on pass, 1 on any violation (the CI job fails).  Regenerate
 the baseline after an intentional change with::
 
     python -m repro sweep --smoke --json benchmarks/reports/baseline.json
+
+Engine trajectory gate
+----------------------
+``--engine`` switches to comparing a ``BENCH_engine.json`` produced by
+``benchmarks/engine_trajectory.py`` against the committed
+``benchmarks/reports/engine_baseline.json``:
+
+* every shape's throughput (events/sec or requests/sec) must not regress
+  more than ``--tolerance`` (±25% default — machine-sensitive, so only
+  regressions beyond the band fail, improvements always pass);
+* the large-topology run's ``completed_requests`` must match the
+  baseline **exactly** when the simulated horizons agree — the scenario
+  is seeded and deterministic, so any drift means the engine changed
+  simulation behaviour.
+
+Regenerate with ``python benchmarks/engine_trajectory.py --quick --out
+benchmarks/reports/engine_baseline.json`` after an intentional change.
 """
 
 from __future__ import annotations
@@ -35,6 +52,7 @@ import sys
 from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).parent / "reports" / "baseline.json"
+DEFAULT_ENGINE_BASELINE = Path(__file__).parent / "reports" / "engine_baseline.json"
 
 
 def _rel_delta(current: float, reference: float) -> float:
@@ -94,13 +112,65 @@ def compare(
     return problems
 
 
+def compare_engine(
+    current: dict, baseline: dict, *, tolerance: float
+) -> list[str]:
+    """Gate a ``BENCH_engine.json`` trajectory artifact (see module doc)."""
+    problems: list[str] = []
+    if current.get("schema") != baseline.get("schema"):
+        problems.append(
+            f"schema mismatch: current {current.get('schema')!r} vs "
+            f"baseline {baseline.get('schema')!r}"
+        )
+        return problems
+
+    for shape, base_result in baseline.get("results", {}).items():
+        result = current.get("results", {}).get(shape)
+        if result is None:
+            problems.append(f"shape {shape!r} missing from current artifact")
+            continue
+        for rate_key in ("events_per_sec", "requests_per_sec"):
+            if rate_key not in base_result:
+                continue
+            delta = _rel_delta(result.get(rate_key, 0.0), base_result[rate_key])
+            if delta < -tolerance:
+                problems.append(
+                    f"{shape}/{rate_key} regressed {-delta:.1%} "
+                    f"(> {tolerance:.0%} tolerance): {result.get(rate_key, 0):,.0f} "
+                    f"vs baseline {base_result[rate_key]:,.0f}"
+                )
+
+    base_large = baseline.get("results", {}).get("large_topology", {})
+    cur_large = current.get("results", {}).get("large_topology", {})
+    if base_large.get("duration_simulated_s") == cur_large.get(
+        "duration_simulated_s"
+    ) and cur_large.get("completed_requests") != base_large.get("completed_requests"):
+        # Seeded and deterministic: any drift is a behaviour change in
+        # the engine, not noise, and needs a regenerated baseline.
+        problems.append(
+            "large_topology completed_requests drifted: "
+            f"{cur_large.get('completed_requests')} vs baseline "
+            f"{base_large.get('completed_requests')} — the engine changed "
+            "simulation behaviour; regenerate "
+            "benchmarks/reports/engine_baseline.json with rationale"
+        )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="sweep summary JSON to check")
     parser.add_argument(
         "--baseline",
-        default=str(DEFAULT_BASELINE),
-        help=f"baseline summary JSON (default: {DEFAULT_BASELINE})",
+        default=None,
+        help=f"baseline summary JSON (default: {DEFAULT_BASELINE}, or "
+        f"{DEFAULT_ENGINE_BASELINE} with --engine)",
+    )
+    parser.add_argument(
+        "--engine",
+        action="store_true",
+        help="compare a BENCH_engine.json trajectory artifact instead of "
+        "a sweep summary",
     )
     parser.add_argument(
         "--tolerance",
@@ -116,21 +186,37 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    default = DEFAULT_ENGINE_BASELINE if args.engine else DEFAULT_BASELINE
     current = json.loads(Path(args.current).read_text())
-    baseline = json.loads(Path(args.baseline).read_text())
-    problems = compare(
-        current,
-        baseline,
-        tolerance=args.tolerance,
-        metric_tolerance=args.metric_tolerance,
-    )
-    speedup = _rel_delta(
-        current.get("throughput_rps", 0.0), baseline.get("throughput_rps", 1.0)
-    )
-    print(
-        f"throughput: {current.get('throughput_rps', 0):.0f} rps "
-        f"(baseline {baseline.get('throughput_rps', 0):.0f} rps, {speedup:+.1%})"
-    )
+    baseline = json.loads(Path(args.baseline or default).read_text())
+    if args.engine:
+        problems = compare_engine(current, baseline, tolerance=args.tolerance)
+        for shape, base_result in baseline.get("results", {}).items():
+            result = current.get("results", {}).get(shape, {})
+            for rate_key in ("events_per_sec", "requests_per_sec"):
+                if rate_key in base_result:
+                    delta = _rel_delta(
+                        result.get(rate_key, 0.0), base_result[rate_key]
+                    )
+                    print(
+                        f"{shape}: {result.get(rate_key, 0):,.0f} "
+                        f"{rate_key.split('_per_')[0]}/s "
+                        f"(baseline {base_result[rate_key]:,.0f}, {delta:+.1%})"
+                    )
+    else:
+        problems = compare(
+            current,
+            baseline,
+            tolerance=args.tolerance,
+            metric_tolerance=args.metric_tolerance,
+        )
+        speedup = _rel_delta(
+            current.get("throughput_rps", 0.0), baseline.get("throughput_rps", 1.0)
+        )
+        print(
+            f"throughput: {current.get('throughput_rps', 0):.0f} rps "
+            f"(baseline {baseline.get('throughput_rps', 0):.0f} rps, {speedup:+.1%})"
+        )
     if problems:
         print(f"\nbenchmark gate FAILED ({len(problems)} violation(s)):")
         for problem in problems:

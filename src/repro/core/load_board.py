@@ -21,8 +21,30 @@ is never filtered and fault-free behaviour is unchanged.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import ConfigurationError
 from repro.types import NodeId, Time
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import ProtocolConfig
+
+
+def expiry_from_protocol(config: "ProtocolConfig") -> float | None:
+    """The seconds-based report expiry a protocol config implies.
+
+    The single translation from the protocol's interval-denominated
+    ``report_expiry_intervals`` to the board's seconds-denominated
+    ``expiry``.  Both planes — the simulator's
+    :class:`~repro.core.protocol.HostingSystem` and the live
+    :class:`~repro.live.redirector.LiveRedirector` — must build their
+    boards through this helper so the expiry horizon (and therefore the
+    inclusive boundary semantics of :meth:`LoadReportBoard.is_fresh`)
+    cannot drift between them.
+    """
+    if config.report_expiry_intervals is None:
+        return None
+    return config.report_expiry_intervals * config.measurement_interval
 
 
 class LoadReportBoard:
@@ -31,6 +53,18 @@ class LoadReportBoard:
     ``expiry`` is the maximum report age, in seconds, a query passing
     ``now`` will still trust; ``None`` disables expiry (the seed
     behaviour).  Queries that omit ``now`` never filter.
+
+    Boundary semantics (pinned): expiry is **inclusive** — a report aged
+    *exactly* ``expiry`` seconds is still fresh; only strictly older
+    reports are filtered.  Every query path (:meth:`candidates`,
+    :meth:`candidates_below`) goes through the single :meth:`is_fresh`
+    predicate, so the boundary cannot diverge between paths.  Inclusive
+    is the behaviour-preserving choice: a healthy host re-reports every
+    measurement interval, and with the default expiry of
+    ``report_expiry_intervals`` x ``measurement_interval`` an exact-age
+    report only occurs when a query instant coincides with a report
+    instant — treating it stale would spuriously filter a live host whose
+    report is about to be refreshed at that very tick.
     """
 
     __slots__ = ("_reports", "expiry")
@@ -57,7 +91,13 @@ class LoadReportBoard:
         entry = self._reports.get(node)
         return entry[0] if entry is not None else None
 
-    def _fresh(self, time: Time, now: Time | None) -> bool:
+    def is_fresh(self, time: Time, now: Time | None) -> bool:
+        """Whether a report stamped ``time`` is trusted at ``now``.
+
+        Inclusive boundary: ``now - time == expiry`` is fresh (see the
+        class docstring for why).  ``now=None`` (query doesn't filter) or
+        ``expiry=None`` (expiry disabled) always trust.
+        """
         return now is None or self.expiry is None or now - time <= self.expiry
 
     def candidates_below(
@@ -72,7 +112,7 @@ class LoadReportBoard:
         eligible = [
             (load, node)
             for node, (time, load) in self._reports.items()
-            if node != exclude and load < threshold and self._fresh(time, now)
+            if node != exclude and load < threshold and self.is_fresh(time, now)
         ]
         eligible.sort()
         return [node for _, node in eligible]
@@ -88,7 +128,7 @@ class LoadReportBoard:
         eligible = [
             (load, node)
             for node, (time, load) in self._reports.items()
-            if node != exclude and self._fresh(time, now)
+            if node != exclude and self.is_fresh(time, now)
         ]
         eligible.sort()
         return [(node, load) for load, node in eligible]

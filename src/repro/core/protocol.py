@@ -36,7 +36,7 @@ from repro.core.config import ProtocolConfig
 from repro.core.create_obj import handle_create_obj  # re-exported for tests
 from repro.core.distributor import Distributor
 from repro.core.host import HostServer
-from repro.core.load_board import LoadReportBoard
+from repro.core.load_board import LoadReportBoard, expiry_from_protocol
 from repro.core.offload import run_offload
 from repro.core.placement import PlacementEngine
 from repro.core.redirector import RedirectorGroup, RedirectorService
@@ -188,14 +188,7 @@ class HostingSystem:
             for node in redirector_nodes
         ]
         self.redirectors = RedirectorGroup(services)
-        expiry_intervals = config.report_expiry_intervals
-        self.board = LoadReportBoard(
-            expiry=(
-                None
-                if expiry_intervals is None
-                else expiry_intervals * config.measurement_interval
-            )
-        )
+        self.board = LoadReportBoard(expiry=expiry_from_protocol(config))
         #: Node receiving load reports (co-located with the first redirector).
         self.board_node: NodeId = redirector_nodes[0]
         self.engine = PlacementEngine(self)
@@ -395,10 +388,12 @@ class HostingSystem:
         if not delivered:
             return self._lose_request(record)
         delay = delay1 + delay2
+        # Pipeline hops are never cancelled: the handle-free post_* paths
+        # skip the Event allocation on every request.
         if delay > 0:
-            self.sim.schedule_after(delay, self._arrive_at_host, server, record)
+            self.sim.post_after(delay, self._arrive_at_host, server, record)
         else:
-            self.sim.schedule_at(self.sim.now, self._arrive_at_host, server, record)
+            self.sim.post_at(self.sim.now, self._arrive_at_host, server, record)
         return record
 
     def _fail_request(self, record: RequestRecord) -> RequestRecord:
@@ -453,7 +448,7 @@ class HostingSystem:
             if not delivered:
                 self._lose_request(record)
                 return
-            self.sim.schedule_after(delay, self._arrive_at_host, new_server, record)
+            self.sim.post_after(delay, self._arrive_at_host, new_server, record)
             return
         if self.failure_detector is not None:
             self.failure_detector.note_request_success(server)
@@ -473,7 +468,7 @@ class HostingSystem:
         start, completion = admitted
         record.queue_delay = start - now
         record.service_time = host.service_time
-        self.sim.schedule_at(completion, self._complete_service, host, record)
+        self.sim.post_at(completion, self._complete_service, host, record)
 
     def _complete_service(self, host: HostServer, record: RequestRecord) -> None:
         if not host.available:
@@ -492,7 +487,7 @@ class HostingSystem:
             self._lose_request(record)
             return
         if delay > 0:
-            self.sim.schedule_after(delay, self._finish_request, record)
+            self.sim.post_after(delay, self._finish_request, record)
         else:
             self._finish_request(record)
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import random
 import time
 from dataclasses import dataclass, field
@@ -143,13 +144,17 @@ class LoadgenStats:
         ordered = sorted(self.latencies)
 
         def percentile(q: float) -> float:
-            if not ordered:
-                return 0.0
-            index = min(len(ordered) - 1, int(q * len(ordered)))
-            return ordered[index]
+            # Nearest-rank: the smallest sample with at least a fraction
+            # q of the distribution at or below it, ceil(q*N) in 1-based
+            # rank terms.  The old ``int(q * len)`` index was biased one
+            # rank high whenever q*N landed on an integer (p50 of 8
+            # samples returned the 5th, not the 4th) and only the
+            # ``min(len-1, ...)`` clamp kept q=1.0 in range.
+            rank = math.ceil(q * len(ordered))
+            return ordered[max(0, rank - 1)]
 
         issued = self.completed + self.failed
-        return {
+        summary = {
             "requests_issued": issued,
             "requests_completed": self.completed,
             "requests_failed": self.failed,
@@ -157,14 +162,17 @@ class LoadgenStats:
             "bytes_received": self.bytes_received,
             "elapsed_seconds": self.elapsed,
             "achieved_rps": self.completed / self.elapsed if self.elapsed else 0.0,
-            "latency_mean_ms": (
-                sum(ordered) / len(ordered) * 1000.0 if ordered else 0.0
-            ),
-            "latency_p50_ms": percentile(0.50) * 1000.0,
-            "latency_p95_ms": percentile(0.95) * 1000.0,
-            "latency_p99_ms": percentile(0.99) * 1000.0,
             "servers_seen": len(self.per_server),
         }
+        # With zero completed requests there is no latency distribution:
+        # omit the keys rather than reporting a fabricated 0ms (report
+        # tooling renders absent keys as "-").
+        if ordered:
+            summary["latency_mean_ms"] = sum(ordered) / len(ordered) * 1000.0
+            summary["latency_p50_ms"] = percentile(0.50) * 1000.0
+            summary["latency_p95_ms"] = percentile(0.95) * 1000.0
+            summary["latency_p99_ms"] = percentile(0.99) * 1000.0
+        return summary
 
 
 # ----------------------------------------------------------------------

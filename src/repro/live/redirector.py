@@ -25,7 +25,7 @@ deadlock in single-process deployments.
 
 from __future__ import annotations
 
-from repro.core.load_board import LoadReportBoard
+from repro.core.load_board import LoadReportBoard, expiry_from_protocol
 from repro.core.redirector import RedirectorService
 from repro.core.runtime import Clock
 from repro.errors import ProtocolError
@@ -67,13 +67,7 @@ class LiveRedirector:
             distribution_constant=config.protocol.distribution_constant,
         )
         self.service.tracer = tracer
-        expiry = None
-        if config.protocol.report_expiry_intervals is not None:
-            expiry = (
-                config.protocol.report_expiry_intervals
-                * config.protocol.measurement_interval
-            )
-        self.board = LoadReportBoard(expiry=expiry)
+        self.board = LoadReportBoard(expiry=expiry_from_protocol(config.protocol))
         for obj in range(config.num_objects):
             self.service.register_initial(obj, config.initial_host(obj))
         #: Requests routed, for the metrics snapshot.

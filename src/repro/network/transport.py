@@ -150,10 +150,12 @@ class Network:
         delay = self.delay(hops, size)
         self._account(source, target, hops, size, message_class)
         if callback is not None:
+            # The handle is never exposed to callers, so delivery events
+            # are uncancellable by construction: use the handle-free path.
             if delay > 0:
-                self._sim.schedule_after(delay, callback, *args)
+                self._sim.post_after(delay, callback, *args)
             else:
-                self._sim.schedule_at(self._sim.now, callback, *args)
+                self._sim.post_at(self._sim.now, callback, *args)
         return hops, delay
 
     def account(

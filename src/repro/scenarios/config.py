@@ -66,6 +66,19 @@ class ScenarioConfig:
     #: not in every benchmark sweep.  Excluded from the sweep spec hash —
     #: it verifies a run without changing what runs.
     check_invariants: bool = False
+    #: Pre-draw request arrivals per measurement interval as vectors
+    #: (:class:`~repro.workloads.batched.BatchedRequestGenerator`) instead
+    #: of one scheduler event per request.  Same RNG streams, same arrival
+    #: times and objects; only the global event-sequence interleaving of
+    #: exact-tie timestamps can differ (measure-zero — random phases).
+    #: Excluded from the sweep spec hash — a scheduling-substrate knob,
+    #: not a scenario parameter.
+    batched_arrivals: bool = False
+    #: Event-queue bucket width override, seconds.  ``None`` auto-sizes
+    #: from the expected event rate (:func:`repro.scenarios.runner.
+    #: auto_bucket_width`).  Pure performance knob — ordering is exact
+    #: ``(time, seq)`` at any width — and excluded from the spec hash.
+    queue_bucket_width: float | None = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -84,6 +97,8 @@ class ScenarioConfig:
             raise ConfigurationError("bucket width must be positive")
         if self.trace_capacity < 1:
             raise ConfigurationError("trace capacity must be at least 1")
+        if self.queue_bucket_width is not None and self.queue_bucket_width <= 0:
+            raise ConfigurationError("queue bucket width must be positive")
 
     def scaled(self, factor: float) -> "ScenarioConfig":
         """Scale the *load axis* of the run by ``factor``.

@@ -19,6 +19,8 @@ import os
 from repro.core.config import ProtocolConfig
 from repro.errors import ConfigurationError
 from repro.scenarios.config import ScenarioConfig
+from repro.topology.generators import random_geometric_topology
+from repro.topology.graph import Topology
 
 #: The four evaluation workloads of Section 6.1, in the paper's order.
 WORKLOAD_NAMES = ("zipf", "hot-sites", "hot-pages", "regional")
@@ -110,3 +112,40 @@ def paper_scenario(
     if not dynamic:
         config = config.replace(dynamic=False, name=f"{config.name}-static")
     return config
+
+
+#: Default shape of the large-topology stress scenario (ROADMAP item 1:
+#: "500+ hosts / 100k+ objects in minutes").
+LARGE_TOPOLOGY_NODES = 500
+LARGE_TOPOLOGY_OBJECTS = 100_000
+LARGE_TOPOLOGY_SEED = 2024
+
+
+def large_topology_scenario(
+    *,
+    num_nodes: int = LARGE_TOPOLOGY_NODES,
+    num_objects: int = LARGE_TOPOLOGY_OBJECTS,
+    duration: float = 120.0,
+    seed: int = 1,
+    scale: float = DEFAULT_BENCH_SCALE,
+) -> tuple[ScenarioConfig, Topology]:
+    """A 500-host / 100k-object engine stress scenario, plus its topology.
+
+    The paper's protocol on a synthetic geometric backbone an order of
+    magnitude beyond UUNET's 53 nodes.  Batched arrival generation is on
+    (it exists for exactly this scale) and everything else keeps Table 1
+    semantics via :func:`paper_parameters` + ``scaled``.  Pass both
+    returned values to :func:`~repro.scenarios.runner.run_scenario`
+    (config, then ``topology=``) — the runner would otherwise build the
+    UUNET backbone.
+    """
+    topology = random_geometric_topology(num_nodes, seed=LARGE_TOPOLOGY_SEED)
+    config = paper_parameters().replace(
+        name=f"large-{num_nodes}n-{num_objects // 1000}ko",
+        workload="zipf",
+        num_objects=num_objects,
+        duration=duration,
+        seed=seed,
+        batched_arrivals=True,
+    )
+    return config.scaled(scale), topology

@@ -30,6 +30,7 @@ from repro.obs.tracer import DecisionTracer
 from repro.routing.routes_db import RoutingDatabase
 from repro.scenarios.config import ScenarioConfig
 from repro.sim.engine import Simulator
+from repro.sim.events import DEFAULT_BUCKET_WIDTH
 from repro.sim.rng import RngFactory
 from repro.topology.graph import Topology
 from repro.topology.uunet import uunet_backbone
@@ -71,6 +72,23 @@ def make_workload(
     raise ConfigurationError(f"unknown workload {name!r}")
 
 
+def auto_bucket_width(config: ScenarioConfig, num_nodes: int) -> float:
+    """Event-queue bucket width sized to the scenario's event rate.
+
+    Targets a few hundred entries per near bucket: each request costs
+    roughly four scheduler events (arrival, host hop, completion,
+    response), so the expected event rate is ``nodes x rate x 4``.  A
+    pure performance knob — ordering is exact ``(time, seq)`` at any
+    width — overridable via ``config.queue_bucket_width``.
+    """
+    if config.queue_bucket_width is not None:
+        return config.queue_bucket_width
+    event_rate = num_nodes * config.node_request_rate * 4.0
+    if event_rate <= 0:
+        return DEFAULT_BUCKET_WIDTH
+    return min(DEFAULT_BUCKET_WIDTH, max(0.002, 256.0 / event_rate))
+
+
 def build_system(
     config: ScenarioConfig,
     *,
@@ -84,8 +102,9 @@ def build_system(
     set and no explicit tracer, a fresh :class:`DecisionTracer` of
     ``config.trace_capacity`` is attached (reachable as ``system.tracer``).
     """
-    sim = sim or Simulator()
     topology = topology or uunet_backbone(config.topology_seed)
+    if sim is None:
+        sim = Simulator(bucket_width=auto_bucket_width(config, topology.num_nodes))
     routes = RoutingDatabase(topology)
     network = Network(
         sim,
@@ -341,6 +360,8 @@ def run_scenario(
         config.node_request_rate,
         RngFactory(config.seed),
         poisson=config.poisson,
+        batched=config.batched_arrivals,
+        window=config.protocol.measurement_interval,
     )
     sim.run(until=config.duration)
     for generator in generators:

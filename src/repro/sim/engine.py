@@ -23,10 +23,11 @@ Two observation mechanisms exist, both free when unused:
 
 from __future__ import annotations
 
+from heapq import heappop
 from typing import Any, Callable, Protocol, runtime_checkable
 
 from repro.errors import SimulationError
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import DEFAULT_BUCKET_WIDTH, Event, EventQueue
 from repro.types import Time
 
 
@@ -70,8 +71,8 @@ class Simulator:
 
     __slots__ = ("_queue", "_now", "_running", "_stopped", "_tracers", "trace")
 
-    def __init__(self) -> None:
-        self._queue = EventQueue()
+    def __init__(self, bucket_width: float = DEFAULT_BUCKET_WIDTH) -> None:
+        self._queue = EventQueue(bucket_width)
         self._now: Time = 0.0
         self._running = False
         self._stopped = False
@@ -126,6 +127,47 @@ class Simulator:
             raise SimulationError(f"negative delay {delay}")
         return self._queue.push(self._now + delay, callback, args)
 
+    def post_at(self, time: Time, callback: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at ``time`` with no cancel handle.
+
+        The hot-path sibling of :meth:`schedule_at` for events that are
+        never cancelled (per-request pipeline hops): no :class:`Event`
+        is allocated.  Ordering is identical — the same ``(time, seq)``
+        sequence numbering is shared with the handle-based paths.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        self._queue.push_fast(time, callback, args)
+
+    def post_after(
+        self, delay: Time, callback: Callable[..., Any], *args: Any
+    ) -> None:
+        """Schedule ``callback(*args)`` after ``delay`` with no cancel handle."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._queue.push_fast(self._now + delay, callback, args)
+
+    def post_batch(
+        self,
+        times: list[Time],
+        callback: Callable[..., Any],
+        args_list: list[tuple[Any, ...]],
+    ) -> None:
+        """Schedule a pre-drawn vector of handle-free events in one call.
+
+        Used by the batched workload generator: one call schedules a whole
+        measurement interval of request arrivals.  Each ``(time, args)``
+        pair gets a sequence number in list order, exactly as if posted
+        individually.
+        """
+        if times and min(times) < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={min(times)} before current time t={self._now}"
+            )
+        self._queue.push_batch(times, callback, args_list)
+
     def cancel(self, event: Event) -> None:
         """Cancel a pending event.
 
@@ -178,23 +220,100 @@ class Simulator:
             if on_run_start is not None:
                 on_run_start(self, until)
         fired = 0
-        pop_until = queue.pop_until
         try:
-            while True:
-                event = pop_until(until)
-                if event is None:
-                    # No live event at or before the horizon: the queue
-                    # drained, only tombstoned entries remain, or the
-                    # earliest live event lies beyond ``until``.
-                    break
-                self._now = event.time
-                if hooks is not None:
+            if hooks is None:
+                # Untraced fast path: drain the queue inline.  Entries
+                # are raw ``(time, seq, handle, callback, args)`` tuples
+                # — no per-event method calls, hook probes, or Event
+                # materialisation.  Two bulk regimes, each valid while
+                # only one of the queue's two heads exists:
+                #
+                # * sorted-run drain (near heap empty) — the dominant
+                #   case mid-scenario: pops are a cursor increment;
+                # * near-heap drain (sorted run exhausted) — callback-
+                #   scheduling regimes where events land in the current
+                #   bucket.
+                #
+                # The moment both heads exist — or the run is past the
+                # horizon, tombstoned, or exhausted — one general
+                # ``pop_until`` step handles head comparison and bucket
+                # pours.  Callbacks can push (the near list object is
+                # never replaced; ``_sorted`` is only replaced by pours,
+                # which never run from callbacks) and cancel (observed at
+                # head-read time); ``_sorted_pos`` is committed before
+                # every callback so cancellation sees a consistent queue.
+                pop_until = queue.pop_until
+                near = queue._near
+                while True:
+                    sorted_run = queue._sorted
+                    end = len(sorted_run)
+                    pos = queue._sorted_pos
+                    if not near:
+                        while pos < end:
+                            head = sorted_run[pos]
+                            handle = head[2]
+                            if handle is not None and handle.cancelled:
+                                pos += 1
+                                continue
+                            if until is not None and head[0] > until:
+                                break
+                            pos += 1
+                            queue._sorted_pos = pos
+                            if handle is not None:
+                                handle._queue = None
+                            queue._live -= 1
+                            self._now = head[0]
+                            head[3](*head[4])
+                            if self._stopped or near:
+                                break
+                        queue._sorted_pos = pos
+                    elif pos >= end:
+                        while near:
+                            head = near[0]
+                            handle = head[2]
+                            if handle is not None and handle.cancelled:
+                                heappop(near)
+                                continue
+                            if until is not None and head[0] > until:
+                                break
+                            heappop(near)
+                            if handle is not None:
+                                handle._queue = None
+                            queue._live -= 1
+                            self._now = head[0]
+                            head[3](*head[4])
+                            if self._stopped:
+                                break
+                    if self._stopped:
+                        break
+                    entry = pop_until(until)
+                    if entry is None:
+                        break
+                    self._now = entry[0]
+                    entry[3](*entry[4])
+                    if self._stopped:
+                        break
+            else:
+                pop_until = queue.pop_until
+                while True:
+                    entry = pop_until(until)
+                    if entry is None:
+                        # No live event at or before the horizon: the
+                        # queue drained, only tombstoned entries remain,
+                        # or the earliest live event lies beyond `until`.
+                        break
+                    self._now = entry[0]
                     fired += 1
+                    event = entry[2]
+                    if event is None:
+                        # Handle-free entry: materialise an equivalent
+                        # Event for the tracer hooks.
+                        event = Event(entry[0], entry[1], entry[3], entry[4])
                     for hook in hooks:
                         hook(event)
-                event.callback(*event.args)
-                if self._stopped:
-                    break
+                    entry[3](*entry[4])
+                    if self._stopped:
+                        break
             # Unless stop() ended the run early, the full span up to the
             # horizon was simulated — on *every* other exit (horizon
             # reached, queue drained, or only tombstoned entries left)

@@ -170,12 +170,17 @@ class SweepSpec:
 
         Canonical-JSON over the base config, resolved seeds and points;
         any change to what would run changes the hash.  Pure verification
-        toggles (``check_invariants``) are excluded: they assert about a
-        run without changing it, and including them would invalidate
+        toggles (``check_invariants``) and scheduling-substrate knobs
+        (``batched_arrivals``, ``queue_bucket_width`` — how the same
+        event set is generated and ordered internally, not what it
+        simulates) are excluded: they assert about or accelerate a run
+        without changing its results, and including them would invalidate
         committed baselines whose runs are identical.
         """
         base = dataclasses.asdict(self.base)
         base.pop("check_invariants", None)
+        base.pop("batched_arrivals", None)
+        base.pop("queue_bucket_width", None)
         payload = {
             "name": self.name,
             "base": base,

@@ -24,7 +24,9 @@ from repro.workloads.base import (
     UniformWorkload,
     Workload,
     attach_generators,
+    canonical_object_ids,
 )
+from repro.workloads.batched import BatchedRequestGenerator
 from repro.workloads.hot_pages import HotPagesWorkload
 from repro.workloads.hot_sites import HotSitesWorkload
 from repro.workloads.mixture import MixtureWorkload, PhasedWorkload
@@ -41,5 +43,7 @@ __all__ = [
     "MixtureWorkload",
     "PhasedWorkload",
     "RequestGenerator",
+    "BatchedRequestGenerator",
     "attach_generators",
+    "canonical_object_ids",
 ]

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import abc
 import random
+from functools import lru_cache
 from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import WorkloadError
@@ -23,6 +24,21 @@ from repro.types import NodeId, ObjectId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.protocol import HostingSystem
+
+
+@lru_cache(maxsize=8)
+def canonical_object_ids(num_objects: int) -> tuple[ObjectId, ...]:
+    """One canonical ``int`` object per object id.
+
+    Workload samplers produce fresh ``int`` boxes on every draw; mapping
+    them through this table interns them so the hot
+    ``submit_request → choose_replica → host`` path hashes/compares one
+    shared object per id (dict lookups short-circuit on identity) and the
+    millions of :class:`~repro.types.RequestRecord` instances reference
+    rather than duplicate them.  Pure value mapping — RNG draw order and
+    sampled values are untouched.
+    """
+    return tuple(range(num_objects))
 
 
 class Workload(abc.ABC):
@@ -63,6 +79,7 @@ class RequestGenerator:
         "_event",
         "_active",
         "generated",
+        "_objects",
     )
 
     def __init__(
@@ -92,6 +109,7 @@ class RequestGenerator:
         self._poisson = poisson
         self._active = True
         self.generated = 0
+        self._objects = canonical_object_ids(workload.num_objects)
         # Random phase so generators across gateways do not fire in sync.
         first = rng.random() / rate
         self._event = sim.schedule_after(first, self._fire)
@@ -103,7 +121,7 @@ class RequestGenerator:
             self._rng.expovariate(self.rate) if self._poisson else 1.0 / self.rate
         )
         self._event = self._sim.schedule_after(delay, self._fire)
-        obj = self._workload.sample(self.gateway, self._rng)
+        obj = self._objects[self._workload.sample(self.gateway, self._rng)]
         self._system.submit_request(self.gateway, obj)
         self.generated += 1
 
@@ -123,13 +141,37 @@ def attach_generators(
     *,
     gateways: Sequence[NodeId] | None = None,
     poisson: bool = False,
-) -> list[RequestGenerator]:
-    """One generator per gateway (default: every backbone node)."""
+    batched: bool = False,
+    window: float | None = None,
+):
+    """One generator per gateway (default: every backbone node).
+
+    With ``batched`` set, arrivals are pre-drawn per ``window`` seconds as
+    vectors (:class:`~repro.workloads.batched.BatchedRequestGenerator`)
+    instead of one scheduler event per request — same RNG streams, same
+    arrival times and objects, a fraction of the scheduling overhead.
+    """
     nodes = (
         list(gateways)
         if gateways is not None
         else list(system.routes.topology.nodes)
     )
+    if batched:
+        from repro.workloads.batched import DEFAULT_WINDOW, BatchedRequestGenerator
+
+        return [
+            BatchedRequestGenerator(
+                sim,
+                system,
+                workload,
+                node,
+                rate,
+                rng_factory.stream(f"gen-{node}"),
+                poisson=poisson,
+                window=window if window is not None else DEFAULT_WINDOW,
+            )
+            for node in nodes
+        ]
     return [
         RequestGenerator(
             sim,

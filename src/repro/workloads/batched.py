@@ -1,0 +1,152 @@
+"""Batched request generation: arrivals pre-drawn per window as vectors.
+
+:class:`~repro.workloads.base.RequestGenerator` schedules one event per
+request *and* re-enters the scheduler from inside each firing, so every
+arrival costs an Event allocation plus a scheduling round-trip.  At
+500-host scale (hundreds of thousands of arrivals per simulated minute)
+that per-arrival overhead dominates the run.
+
+:class:`BatchedRequestGenerator` instead pre-draws a whole window of
+arrival times and sampled objects as plain vectors and hands them to
+:meth:`repro.sim.engine.Simulator.post_batch` in one call — one refill
+event per window instead of one generator event per request, and no
+Event handles at all for the arrivals themselves.
+
+Equivalence with the per-event generator
+----------------------------------------
+Each generator owns a dedicated RNG stream (``gen-<node>``), and the
+pre-draw loop consumes that stream in exactly the per-event order (the
+inter-arrival draw for the *next* arrival, then the object draw for the
+*current* one, matching ``RequestGenerator._fire``).  Arrival times and
+sampled objects are therefore bit-identical to the per-event generator's.
+What can differ is the global event *sequence* interleaving: batched
+arrivals get their sequence numbers at refill time rather than one
+arrival at a time, so a tie between two events at the *exact same float
+timestamp* from different sources could resolve differently.  Arrival
+times carry a random per-gateway phase, making such ties measure-zero in
+practice — the equivalence test in ``tests/workloads/test_batched.py``
+asserts metric-identical runs — but canonical spec-hashed baselines keep
+the per-event generator (``batched_arrivals`` defaults off) so their
+snapshots remain byte-identical by construction rather than by argument.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.errors import WorkloadError
+from repro.sim.engine import Simulator
+from repro.types import NodeId, Time
+from repro.workloads.base import Workload, canonical_object_ids
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.protocol import HostingSystem
+
+#: Default pre-draw window, seconds.  Scenario runners override this with
+#: the protocol's measurement interval so one refill per interval feeds
+#: the queue's far buckets directly.
+DEFAULT_WINDOW = 10.0
+
+
+class BatchedRequestGenerator:
+    """Constant-rate request stream, pre-drawn one window at a time."""
+
+    __slots__ = (
+        "_sim",
+        "_system",
+        "_workload",
+        "gateway",
+        "rate",
+        "_rng",
+        "_poisson",
+        "_window",
+        "_next_time",
+        "_refill_event",
+        "_active",
+        "generated",
+        "_objects",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        system: "HostingSystem",
+        workload: Workload,
+        gateway: NodeId,
+        rate: float,
+        rng: random.Random,
+        *,
+        poisson: bool = False,
+        window: Time = DEFAULT_WINDOW,
+    ) -> None:
+        if rate <= 0:
+            raise WorkloadError(f"request rate must be positive, got {rate}")
+        if window <= 0:
+            raise WorkloadError(f"pre-draw window must be positive, got {window}")
+        if workload.num_objects > system.num_objects:
+            raise WorkloadError(
+                "workload namespace larger than the system's: "
+                f"{workload.num_objects} > {system.num_objects}"
+            )
+        self._sim = sim
+        self._system = system
+        self._workload = workload
+        self.gateway = gateway
+        self.rate = rate
+        self._rng = rng
+        self._poisson = poisson
+        self._window = window
+        self._active = True
+        #: Arrivals *scheduled* (the per-event generator counts arrivals
+        #: fired; after a completed run the two agree — see module doc).
+        self.generated = 0
+        self._objects = canonical_object_ids(workload.num_objects)
+        # Random phase, same first draw as RequestGenerator.
+        first = rng.random() / rate
+        self._next_time = sim.now + first
+        self._refill_event = None
+        self._fill()
+
+    def _fill(self) -> None:
+        """Pre-draw and schedule every arrival in the next window."""
+        sim = self._sim
+        end = sim.now + self._window
+        t = self._next_time
+        times: list[Time] = []
+        pairs: list[tuple] = []
+        append_time = times.append
+        append_pair = pairs.append
+        rng = self._rng
+        expovariate = rng.expovariate
+        rate = self.rate
+        step = 1.0 / rate
+        poisson = self._poisson
+        sample = self._workload.sample
+        gateway = self.gateway
+        objects = self._objects
+        while t < end:
+            # Same per-arrival draw order as RequestGenerator._fire: the
+            # next inter-arrival gap first, then this arrival's object.
+            nxt = t + (expovariate(rate) if poisson else step)
+            append_time(t)
+            append_pair((gateway, objects[sample(gateway, rng)]))
+            t = nxt
+        self._next_time = t
+        if times:
+            sim.post_batch(times, self._system.submit_request, pairs)
+            self.generated += len(times)
+        self._refill_event = sim.schedule_after(self._window, self._fill)
+
+    def stop(self) -> None:
+        """Stop pre-drawing new windows.  Idempotent.
+
+        Arrivals already scheduled (up to one window ahead) cannot be
+        recalled — they fire if the simulation keeps running.  Scenario
+        runners stop generators only after the measurement horizon, where
+        the distinction is unobservable.
+        """
+        if self._active:
+            self._active = False
+            if self._refill_event is not None:
+                self._refill_event.cancel()

@@ -70,6 +70,54 @@ def test_fresh_report_restores_candidacy():
     assert board.report_time(1) == 90.0
 
 
+def test_expiry_boundary_inclusive_on_every_query_path():
+    """The pinned semantic: a report aged *exactly* ``expiry`` is fresh,
+    and every query path agrees (inclusive everywhere)."""
+    board = LoadReportBoard(expiry=60.0)
+    board.report(1, 2.0, 40.0)
+    assert board.is_fresh(40.0, 100.0)  # age == expiry: fresh
+    assert not board.is_fresh(40.0, 100.0 + 1e-9)  # any older: stale
+    assert board.candidates(exclude=None, now=100.0) == [(1, 2.0)]
+    assert board.candidates_below(8.0, exclude=None, now=100.0) == [1]
+    assert board.candidates(exclude=None, now=100.5) == []
+    assert board.candidates_below(8.0, exclude=None, now=100.5) == []
+
+
+def test_sim_and_live_expiry_horizons_agree():
+    """Both planes derive seconds-based expiry from the same protocol
+    config through the shared ``expiry_from_protocol`` translation, so
+    the horizon (and boundary semantics) cannot drift between them."""
+    from repro.core.load_board import expiry_from_protocol
+
+    config = ProtocolConfig(report_expiry_intervals=3, measurement_interval=20.0)
+    assert expiry_from_protocol(config) == 60.0
+    assert expiry_from_protocol(config.replace(report_expiry_intervals=None)) is None
+
+    # The simulator's hosting system uses the helper verbatim.
+    from repro.core.protocol import HostingSystem
+    from repro.network.transport import Network
+    from repro.routing.routes_db import RoutingDatabase
+    from repro.sim.engine import Simulator
+    from repro.topology.generators import line_topology
+
+    sim = Simulator()
+    routes = RoutingDatabase(line_topology(3))
+    system = HostingSystem(
+        sim, Network(sim, routes), config, num_objects=4, capacity=10.0
+    )
+    assert system.board.expiry == 60.0
+
+    # The live redirector computes its board's expiry the same way
+    # (LiveRedirector pulls in a socket-bound HTTP server, so assert
+    # against the same shared helper its constructor calls).
+    from repro.live.config import live_protocol_config
+
+    live_protocol = live_protocol_config().replace(
+        report_expiry_intervals=3, measurement_interval=20.0
+    )
+    assert expiry_from_protocol(live_protocol) == 60.0
+
+
 def test_expiry_validation():
     with pytest.raises(ConfigurationError):
         LoadReportBoard(expiry=0.0)

@@ -90,12 +90,26 @@ def test_stats_summary_math():
     assert summary["requests_failed"] == 2
     assert summary["achieved_rps"] == pytest.approx(2.0)
     assert summary["latency_mean_ms"] == pytest.approx(45.0)
-    assert summary["latency_p50_ms"] == pytest.approx(50.0)
+    # Nearest-rank p50 of 8 samples is the 4th (ceil(0.5*8) = rank 4),
+    # not the 5th the old biased int(q*N) indexing returned.
+    assert summary["latency_p50_ms"] == pytest.approx(40.0)
     assert summary["servers_seen"] == 2
+
+
+def test_stats_percentile_edges():
+    stats = LoadgenStats(completed=1, elapsed=1.0, latencies=[0.200])
+    summary = stats.summary()
+    # A single sample is every percentile, including the q -> 1.0 edge
+    # where ceil(q*N) must clamp into range instead of overflowing.
+    assert summary["latency_p50_ms"] == pytest.approx(200.0)
+    assert summary["latency_p99_ms"] == pytest.approx(200.0)
 
 
 def test_stats_summary_empty_run():
     summary = LoadgenStats().summary()
     assert summary["requests_issued"] == 0
     assert summary["achieved_rps"] == 0.0
-    assert summary["latency_p99_ms"] == 0.0
+    # Zero completed requests: no latency distribution exists, so the
+    # latency keys are omitted rather than fabricated as 0 ms.
+    assert "latency_p99_ms" not in summary
+    assert "latency_mean_ms" not in summary

@@ -1,9 +1,14 @@
-"""Unit tests for the event queue."""
+"""Unit tests for the bucketed event queue."""
+
+import heapq
+import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import SimulationError
-from repro.sim.events import EventQueue
+from repro.sim.events import ENTRY_SEQ, ENTRY_TIME, EventQueue
 
 
 def test_pop_orders_by_time():
@@ -94,3 +99,212 @@ def test_bool_reflects_liveness():
     assert not queue
     queue.push(1.0, lambda: None, ())
     assert queue
+
+
+# ----------------------------------------------------------------------
+# Bucketed-queue edge cases
+# ----------------------------------------------------------------------
+
+
+def test_bucket_width_must_be_positive():
+    with pytest.raises(SimulationError):
+        EventQueue(bucket_width=0.0)
+    with pytest.raises(SimulationError):
+        EventQueue(bucket_width=-1.0)
+
+
+def test_cancel_then_reschedule_at_same_instant():
+    """Cancelling and rescheduling at the same time keeps (time, seq)
+    order: the replacement gets a later sequence number, so it fires
+    after other events already queued for that instant."""
+    queue = EventQueue()
+    fired = []
+    queue.push(1.0, fired.append, ("survivor",))
+    doomed = queue.push(1.0, fired.append, ("doomed",))
+    doomed.cancel()
+    replacement = queue.push(1.0, fired.append, ("replacement",))
+    assert len(queue) == 2
+    first = queue.pop()
+    second = queue.pop()
+    assert first.args == ("survivor",)
+    assert second is replacement
+    assert len(queue) == 0
+
+
+def test_peek_and_pop_until_over_all_tombstone_buckets():
+    """peek_time/pop_until must skim entire far buckets of tombstones
+    (cancelled before their bucket was ever poured) to reach the first
+    live event — or report emptiness without disturbing the count."""
+    width = 1.0
+    queue = EventQueue(bucket_width=width)
+    # Two full far buckets of events, all cancelled before any pop.
+    for t in (3.1, 3.5, 3.9, 4.2, 4.8):
+        queue.push(t, lambda: None, ()).cancel()
+    assert len(queue) == 0
+    assert queue.peek_time() is None
+    assert queue.pop_until(None) is None
+    # A live event behind the tombstone buckets is still found.
+    live = queue.push(7.5, lambda: None, ())
+    for t in (5.1, 5.2, 6.3):
+        queue.push(t, lambda: None, ()).cancel()
+    assert queue.peek_time() == 7.5
+    # Horizon short of the live event: nothing popped, count intact.
+    assert queue.pop_until(3.0) is None
+    assert len(queue) == 1
+    entry = queue.pop_until(10.0)
+    assert entry[ENTRY_TIME] == 7.5
+    assert entry[ENTRY_SEQ] == live.seq
+    assert len(queue) == 0
+
+
+def test_live_count_through_mixed_cancel_pop_interleavings():
+    queue = EventQueue(bucket_width=0.5)
+    events = [queue.push(0.3 * i, lambda: None, ()) for i in range(20)]
+    assert len(queue) == 20
+    # Cancel a third up front (near and far entries alike).
+    for event in events[::3]:
+        event.cancel()
+    assert len(queue) == 13
+    # Pop a few, cancelling more between pops — including an event that
+    # already fired (no-op) and a double-cancel (counted once).
+    popped = queue.pop()
+    assert len(queue) == 12
+    popped.cancel()  # already fired: must not decrement
+    assert len(queue) == 12
+    events[5].cancel()
+    events[5].cancel()
+    remaining = 0
+    while queue:
+        queue.pop()
+        remaining += 1
+    assert remaining == 11
+    assert len(queue) == 0
+    with pytest.raises(SimulationError):
+        queue.pop()
+
+
+def test_push_fast_interleaves_with_handles():
+    """Handle-free pushes share the same (time, seq) ordering domain."""
+    queue = EventQueue()
+    order = []
+    queue.push_fast(2.0, order.append, ("fast-2",))
+    handled = queue.push(1.0, order.append, ("handle-1",))
+    queue.push_fast(1.0, order.append, ("fast-1",))
+    assert len(queue) == 3
+    first = queue.pop()
+    assert first is handled
+    # Materialised events for handle-free entries carry the entry data.
+    second = queue.pop()
+    assert second.args == ("fast-1",) and second.time == 1.0
+    third = queue.pop()
+    assert third.args == ("fast-2",)
+    assert third.seq < first.seq  # pushed first, fires last (later time)
+
+
+def test_push_batch_orders_and_counts():
+    queue = EventQueue(bucket_width=0.25)
+    seen = []
+    queue.push_batch([3.0, 1.0, 2.0], seen.append, [("c",), ("a",), ("b",)])
+    assert len(queue) == 3
+    while queue:
+        entry = queue.pop_until(None)
+        entry[3](*entry[4])
+    assert seen == ["a", "b", "c"]
+    with pytest.raises(SimulationError):
+        queue.push_batch([1.0], seen.append, [])
+
+
+def test_ties_across_push_paths_fire_in_push_order():
+    queue = EventQueue()
+    seen = []
+    queue.push(1.0, seen.append, ("first",))
+    queue.push_batch([1.0, 1.0], seen.append, [("second",), ("third",)])
+    queue.push_fast(1.0, seen.append, ("fourth",))
+    while queue:
+        entry = queue.pop_until(None)
+        entry[3](*entry[4])
+    assert seen == ["first", "second", "third", "fourth"]
+
+
+# ----------------------------------------------------------------------
+# Order-equivalence property: bucketed queue vs a plain binary heap
+# ----------------------------------------------------------------------
+
+
+def _reference_drain(ops):
+    """Replay ops against a single heapq over (time, seq) — the old
+    implementation's ordering contract."""
+    heap = []
+    cancelled = set()
+    seq = 0
+    for op, value in ops:
+        if op == "push":
+            heapq.heappush(heap, (value, seq))
+            seq += 1
+        else:  # cancel the value-th oldest still-pending push, if any
+            pending = sorted(s for _, s in heap if s not in cancelled)
+            if pending:
+                cancelled.add(pending[value % len(pending)])
+    out = []
+    while heap:
+        time, s = heapq.heappop(heap)
+        if s not in cancelled:
+            out.append((time, s))
+    return out
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(
+                st.just("push"),
+                st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            ),
+            st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=30)),
+        ),
+        max_size=60,
+    ),
+    width=st.sampled_from([0.1, 0.25, 1.0, 3.7, 100.0]),
+)
+def test_order_equivalent_to_binary_heap(ops, width):
+    """For any push/cancel interleaving and any bucket width, the
+    bucketed queue pops the exact (time, seq) sequence a single binary
+    heap would."""
+    queue = EventQueue(bucket_width=width)
+    handles = []
+    for op, value in ops:
+        if op == "push":
+            handles.append(queue.push(value, lambda: None, ()))
+        else:
+            pending = [h for h in handles if not h.cancelled and h._queue is queue]
+            if pending:
+                pending[value % len(pending)].cancel()
+    expected = _reference_drain(ops)
+    got = []
+    while queue:
+        event = queue.pop()
+        got.append((event.time, event.seq))
+    assert got == expected
+    assert len(queue) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_pop_until_horizon_sweep_matches_heap(seed):
+    """Draining through staggered horizons (the simulator's run(until=...)
+    pattern) yields the same order as an unbounded heap drain."""
+    rng = random.Random(seed)
+    times = [rng.uniform(0.0, 20.0) for _ in range(40)]
+    queue = EventQueue(bucket_width=rng.choice([0.2, 1.0, 5.0]))
+    for t in times:
+        queue.push_fast(t, lambda: None, ())
+    expected = sorted((t, s) for s, t in enumerate(times))
+    got = []
+    for horizon in (5.0, 5.0, 10.0, 15.0, None):
+        while True:
+            entry = queue.pop_until(horizon)
+            if entry is None:
+                break
+            got.append((entry[ENTRY_TIME], entry[ENTRY_SEQ]))
+    assert got == expected

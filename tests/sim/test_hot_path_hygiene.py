@@ -1,0 +1,65 @@
+"""Lint-style guards for the simulator's per-event allocation budget.
+
+The event engine's throughput rests on two properties that are easy to
+erode one refactor at a time: queue entries stay plain tuples (heap
+comparisons in C, no Python ``__lt__`` per comparison), and the classes
+on the per-event path carry ``__slots__`` (no per-instance ``__dict__``).
+The pinned ruff version has no per-path API-ban rule, so this test *is*
+the lint: it fails any change that introduces ``@dataclass`` (or an
+unslotted class) into ``src/repro/sim/``.
+"""
+
+import dataclasses
+import inspect
+import pathlib
+
+from repro.sim import engine, events
+
+SIM_DIR = pathlib.Path(inspect.getfile(events)).parent
+
+
+def _sim_sources():
+    return {path: path.read_text() for path in SIM_DIR.glob("*.py")}
+
+
+def test_no_dataclass_events_in_sim():
+    """Per-event allocation pattern ban: no dataclasses anywhere in the
+    simulator package (a dataclass Event would put a Python-level
+    ``__lt__``/``__eq__`` back on the hot comparison path)."""
+    offenders = [
+        str(path)
+        for path, source in _sim_sources().items()
+        if "dataclass" in source
+    ]
+    assert offenders == [], f"dataclass usage in sim/: {offenders}"
+    assert not dataclasses.is_dataclass(events.Event)
+    assert not dataclasses.is_dataclass(events.EventQueue)
+    assert not dataclasses.is_dataclass(engine.Simulator)
+
+
+def test_hot_path_classes_are_slotted():
+    instances = (
+        events.Event(1.0, 0, lambda: None, ()),
+        events.EventQueue(),
+        engine.Simulator(),
+    )
+    for instance in instances:
+        cls = type(instance)
+        assert "__slots__" in cls.__dict__, f"{cls.__name__} lost __slots__"
+        assert not hasattr(
+            instance, "__dict__"
+        ), f"{cls.__name__} instances grew a __dict__"
+
+
+def test_queue_entries_are_plain_tuples():
+    """The queue must store raw tuples, not Event objects: tuple
+    comparison never reaches Python because the unique seq breaks ties."""
+    queue = events.EventQueue()
+    queue.push(1.0, lambda: None, ())
+    queue.push_fast(2.0, lambda: None, ())
+    entry = queue.pop_until(None)
+    assert type(entry) is tuple
+    assert len(entry) == 5
+    # (time, seq, handle, callback, args)
+    assert entry[events.ENTRY_TIME] == 1.0
+    assert entry[events.ENTRY_SEQ] == 0

@@ -41,6 +41,28 @@ Engine trajectory gate
 
 Regenerate with ``python benchmarks/engine_trajectory.py --quick --out
 benchmarks/reports/engine_baseline.json`` after an intentional change.
+
+Live saturation gate
+--------------------
+``--live`` compares a ``BENCH_live.json`` produced by
+``benchmarks/live_saturation.py`` against the committed
+``benchmarks/reports/live_baseline.json``:
+
+* every shard configuration's ``sustained_rps`` must not regress more
+  than ``--tolerance`` (±25% default) — live serving throughput is the
+  most machine-sensitive number in the suite (real sockets, real
+  processes, shared CI cores), so the gate is regression-only and
+  improvements always pass;
+* a configuration that sustained load in the baseline must still
+  sustain *some* load (a sustained_rps collapse to zero means every
+  step blew the latency SLA or error bound — a functional break, not
+  jitter);
+* the recorded ``speedup_4v1`` must not regress more than the
+  tolerance (one-core runners show ~1.0 and that is fine; the gate
+  catches a sharded tier that becomes *slower* than one shard).
+
+Regenerate with ``python benchmarks/live_saturation.py --quick --out
+benchmarks/reports/live_baseline.json`` after an intentional change.
 """
 
 from __future__ import annotations
@@ -53,6 +75,7 @@ from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).parent / "reports" / "baseline.json"
 DEFAULT_ENGINE_BASELINE = Path(__file__).parent / "reports" / "engine_baseline.json"
+DEFAULT_LIVE_BASELINE = Path(__file__).parent / "reports" / "live_baseline.json"
 
 
 def _rel_delta(current: float, reference: float) -> float:
@@ -157,6 +180,56 @@ def compare_engine(
     return problems
 
 
+def compare_live(
+    current: dict, baseline: dict, *, tolerance: float
+) -> list[str]:
+    """Gate a ``BENCH_live.json`` saturation artifact (see module doc)."""
+    problems: list[str] = []
+    if current.get("schema") != baseline.get("schema"):
+        problems.append(
+            f"schema mismatch: current {current.get('schema')!r} vs "
+            f"baseline {baseline.get('schema')!r}"
+        )
+        return problems
+
+    for name, base_result in baseline.get("results", {}).items():
+        result = current.get("results", {}).get(name)
+        if result is None:
+            problems.append(f"configuration {name!r} missing from current artifact")
+            continue
+        base_rate = base_result.get("sustained_rps", 0.0)
+        rate = result.get("sustained_rps", 0.0)
+        if base_rate > 0.0 and rate == 0.0:
+            problems.append(
+                f"{name} sustained no load at all (baseline "
+                f"{base_rate:,.0f} rps): every step blew the p99 SLA or "
+                "the error bound"
+            )
+            continue
+        delta = _rel_delta(rate, base_rate)
+        if delta < -tolerance:
+            problems.append(
+                f"{name}/sustained_rps regressed {-delta:.1%} "
+                f"(> {tolerance:.0%} tolerance): {rate:,.0f} vs "
+                f"baseline {base_rate:,.0f}"
+            )
+
+    base_speedup = baseline.get("speedup_4v1")
+    speedup = current.get("speedup_4v1")
+    if base_speedup is not None:
+        if speedup is None:
+            problems.append("speedup_4v1 missing from current artifact")
+        else:
+            delta = _rel_delta(speedup, base_speedup)
+            if delta < -tolerance:
+                problems.append(
+                    f"speedup_4v1 regressed {-delta:.1%} "
+                    f"(> {tolerance:.0%} tolerance): {speedup:.2f}x vs "
+                    f"baseline {base_speedup:.2f}x"
+                )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="sweep summary JSON to check")
@@ -173,6 +246,12 @@ def main(argv: list[str] | None = None) -> int:
         "a sweep summary",
     )
     parser.add_argument(
+        "--live",
+        action="store_true",
+        help="compare a BENCH_live.json saturation artifact instead of "
+        "a sweep summary",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=0.25,
@@ -186,10 +265,30 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    default = DEFAULT_ENGINE_BASELINE if args.engine else DEFAULT_BASELINE
+    if args.engine and args.live:
+        parser.error("--engine and --live are mutually exclusive")
+    if args.live:
+        default = DEFAULT_LIVE_BASELINE
+    elif args.engine:
+        default = DEFAULT_ENGINE_BASELINE
+    else:
+        default = DEFAULT_BASELINE
     current = json.loads(Path(args.current).read_text())
     baseline = json.loads(Path(args.baseline or default).read_text())
-    if args.engine:
+    if args.live:
+        problems = compare_live(current, baseline, tolerance=args.tolerance)
+        for name, base_result in sorted(baseline.get("results", {}).items()):
+            result = current.get("results", {}).get(name, {})
+            rate = result.get("sustained_rps", 0.0)
+            base_rate = base_result.get("sustained_rps", 0.0)
+            delta = _rel_delta(rate, base_rate)
+            print(
+                f"{name}: sustained {rate:,.0f} rps "
+                f"(baseline {base_rate:,.0f} rps, {delta:+.1%})"
+            )
+        if current.get("speedup_4v1") is not None:
+            print(f"speedup 4v1: {current['speedup_4v1']:.2f}x")
+    elif args.engine:
         problems = compare_engine(current, baseline, tolerance=args.tolerance)
         for shape, base_result in baseline.get("results", {}).items():
             result = current.get("results", {}).get(shape, {})

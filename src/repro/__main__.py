@@ -26,18 +26,31 @@ One parser, five subcommands:
 
 ``serve``
     The live asyncio serving runtime — the same protocol over real
-    sockets.  Runs a whole deployment in one process, or a single role
-    for multi-process deployments; exits cleanly on SIGINT/SIGTERM,
-    exporting metrics (and the trace) on the way down:
+    sockets.  Runs a whole deployment in one process (optionally
+    sharded: ``--shards N`` puts N redirector shards behind a gateway),
+    or a single role (``redirector``, ``gateway``, ``shard``, ``host``)
+    for multi-process deployments.  With ``--base-port 0`` every role
+    binds an ephemeral port, publishes it via ``--port-file``, and
+    registers with the front door given by ``--gateway``.  Exits
+    cleanly on SIGINT/SIGTERM, exporting metrics (and the trace) on
+    the way down:
 
         python -m repro serve --hosts 3 --metrics live.json
+        python -m repro serve --shards 4 --hosts 3
+        python -m repro serve --role shard --shard 1 --base-port 0 \\
+            --gateway 127.0.0.1:8100 --port-file s1.port
         python -m repro serve --role host --node 1 --config live.json
 
 ``loadgen``
     The load generator that drives a live deployment through the
-    redirector at a target request rate:
+    redirector at a target open-loop request rate.  ``--processes``
+    forks workers that split the load and merge latency histograms;
+    ``--route-only`` measures the redirector tier alone; ``--direct``
+    routes each request straight to the owning shard:
 
         python -m repro loadgen --workload zipf --rate 150 --requests 1000
+        python -m repro loadgen --shards 4 --route-only --direct \\
+            --processes 2 --rate 2000 --requests 20000
 """
 
 from __future__ import annotations
@@ -201,7 +214,15 @@ def _add_live_config_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         metavar="PORT",
-        help="redirector port; host i uses PORT+1+i (default: 8100)",
+        help="front-door port; 0 binds ephemeral ports everywhere "
+        "(default: 8100)",
+    )
+    live.add_argument(
+        "--shards",
+        dest="num_shards",
+        type=int,
+        default=None,
+        help="redirector shards partitioning the namespace (default: 1)",
     )
     live.add_argument(
         "--measurement-interval",
@@ -245,6 +266,7 @@ def _live_config(args: argparse.Namespace):
             "object_size": args.object_size,
             "bind_host": args.bind_host,
             "base_port": args.base_port,
+            "num_shards": args.num_shards,
             "measurement_interval": args.measurement_interval,
             "placement_interval": args.placement_interval,
             "high_watermark": args.high_watermark,
@@ -392,7 +414,7 @@ def _populate_serve_parser(parser: argparse.ArgumentParser) -> None:
     _add_live_config_options(parser)
     parser.add_argument(
         "--role",
-        choices=("all", "redirector", "host"),
+        choices=("all", "redirector", "gateway", "shard", "host"),
         default="all",
         help="which role this process runs (default: all, single-process)",
     )
@@ -401,6 +423,26 @@ def _populate_serve_parser(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="host node id (required with --role host)",
+    )
+    parser.add_argument(
+        "--shard",
+        type=int,
+        default=None,
+        help="shard id (required with --role shard)",
+    )
+    parser.add_argument(
+        "--gateway",
+        default=None,
+        metavar="HOST:PORT",
+        help="front-door address to register with (ephemeral-port "
+        "shard/host roles)",
+    )
+    parser.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write this process's bound port to PATH after binding "
+        "(port-conflict-proof launches: use with --base-port 0)",
     )
     parser.add_argument(
         "--serve-duration",
@@ -461,10 +503,38 @@ def _populate_loadgen_parser(parser: argparse.ArgumentParser) -> None:
         help="max in-flight requests (default: 64)",
     )
     parser.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="loadgen worker processes; load and seeds split across them "
+        "and latency histograms merge at the end (default: 1)",
+    )
+    parser.add_argument(
+        "--route-only",
+        action="store_true",
+        help="measure the redirector tier alone: GET /route without the "
+        "object fetch",
+    )
+    parser.add_argument(
+        "--direct",
+        action="store_true",
+        help="partition-aware routing: discover shard endpoints from the "
+        "front door and send each /route straight to the owning shard",
+    )
+    parser.add_argument(
+        "--max-lag",
+        dest="max_sched_lag",
+        type=float,
+        default=None,
+        metavar="S",
+        help="drop arrivals more than S seconds behind schedule instead "
+        "of issuing them late (default: never drop, count late arrivals)",
+    )
+    parser.add_argument(
         "--redirector",
         default=None,
         metavar="HOST:PORT",
-        help="redirector address (default: derived from the live config)",
+        help="front-door address (default: derived from the live config)",
     )
     parser.add_argument(
         "--json",
@@ -768,42 +838,95 @@ def sweep_main(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 
 
+def _parse_hostport(value: str, flag: str) -> tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep:
+        raise SystemExit(f"{flag} must be HOST:PORT")
+    return host, int(port)
+
+
 def serve_main(args: argparse.Namespace) -> int:
-    from repro.live.deploy import serve_all, serve_host, serve_redirector
+    from repro.live.deploy import (
+        serve_all,
+        serve_gateway,
+        serve_host,
+        serve_redirector,
+        serve_shard,
+    )
 
     config = _live_config(args)
+    gateway = (
+        _parse_hostport(args.gateway, "--gateway") if args.gateway else None
+    )
     if args.role == "all":
         coroutine = serve_all(
             config,
             metrics_path=args.metrics_out,
             trace_path=args.trace_out,
             duration=args.serve_duration,
+            port_file=args.port_file,
         )
     elif args.role == "redirector":
-        coroutine = serve_redirector(config, metrics_path=args.metrics_out)
+        coroutine = serve_redirector(
+            config, metrics_path=args.metrics_out, port_file=args.port_file
+        )
+    elif args.role == "gateway":
+        coroutine = serve_gateway(
+            config, metrics_path=args.metrics_out, port_file=args.port_file
+        )
+    elif args.role == "shard":
+        if args.shard is None:
+            raise SystemExit("--role shard needs --shard")
+        coroutine = serve_shard(
+            config,
+            args.shard,
+            gateway=gateway,
+            metrics_path=args.metrics_out,
+            port_file=args.port_file,
+        )
     else:
         if args.node is None:
             raise SystemExit("--role host needs --node")
-        coroutine = serve_host(config, args.node, metrics_path=args.metrics_out)
+        coroutine = serve_host(
+            config,
+            args.node,
+            gateway=gateway,
+            metrics_path=args.metrics_out,
+            port_file=args.port_file,
+        )
     asyncio.run(coroutine)
     return 0
 
 
 def loadgen_main(args: argparse.Namespace) -> int:
-    from repro.live.loadgen import LoadgenOptions, run_loadgen
+    from repro.live.loadgen import (
+        LoadgenOptions,
+        run_loadgen,
+        run_loadgen_multiprocess,
+    )
     from repro.live.metrics import format_live_summary
 
     config = _live_config(args)
     if args.redirector:
-        host, sep, port = args.redirector.rpartition(":")
-        if not sep:
-            raise SystemExit("--redirector must be HOST:PORT")
-        redirector = (host, int(port))
+        redirector = _parse_hostport(args.redirector, "--redirector")
     else:
         redirector = config.redirector_address()
         if redirector[1] == 0:
             raise SystemExit(
                 "ephemeral-port config: pass --redirector HOST:PORT"
+            )
+    shard_endpoints = None
+    if args.direct:
+        from repro.live.client import http_json
+
+        reply = http_json(redirector, "GET", "/admin/endpoints")
+        shard_endpoints = {
+            int(shard): (str(address[0]), int(address[1]))
+            for shard, address in (reply.get("shards") or {}).items()
+        }
+        if not shard_endpoints:
+            raise SystemExit(
+                "--direct: the front door reports no shard endpoints"
             )
     options = LoadgenOptions(
         workload=args.workload,
@@ -812,14 +935,22 @@ def loadgen_main(args: argparse.Namespace) -> int:
         seed=args.seed,
         phases=args.phases,
         concurrency=args.concurrency,
+        route_only=args.route_only,
+        max_sched_lag=args.max_sched_lag,
+        shard_endpoints=shard_endpoints,
     )
 
     def progress(done: int, total: int) -> None:
         print(f"  {done}/{total} requests issued", file=sys.stderr)
 
-    stats = asyncio.run(
-        run_loadgen(redirector, config, options, on_progress=progress)
-    )
+    if args.processes > 1:
+        stats = run_loadgen_multiprocess(
+            redirector, config, options, processes=args.processes
+        )
+    else:
+        stats = asyncio.run(
+            run_loadgen(redirector, config, options, on_progress=progress)
+        )
     summary = stats.summary()
     print(format_live_summary(summary))
     if args.json_out:

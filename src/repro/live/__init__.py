@@ -16,14 +16,24 @@ Entry points: ``python -m repro serve`` and ``python -m repro loadgen``.
 from repro.live.clock import ManualClock, WallClock
 from repro.live.config import LiveConfig
 from repro.live.deploy import LocalDeployment
-from repro.live.loadgen import LoadgenOptions, LoadgenStats, run_loadgen
+from repro.live.gateway import LiveGateway
+from repro.live.histogram import LatencyHistogram
+from repro.live.loadgen import (
+    LoadgenOptions,
+    LoadgenStats,
+    run_loadgen,
+    run_loadgen_multiprocess,
+)
 
 __all__ = [
+    "LatencyHistogram",
     "LiveConfig",
+    "LiveGateway",
     "LoadgenOptions",
     "LoadgenStats",
     "LocalDeployment",
     "ManualClock",
     "WallClock",
     "run_loadgen",
+    "run_loadgen_multiprocess",
 ]

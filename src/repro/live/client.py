@@ -14,15 +14,28 @@ notifies are single attempts (a loss degrades gracefully, as in the
 sim's fault plane), while *persistent* calls — drop arbitration and the
 replica-created registration, whose loss would desynchronise the
 redirector registry — retry with backoff before giving up.
+
+Two behaviours support the sharded tier (DESIGN §10):
+
+* every registry mutation carries a unique ``msg_id``; the owning shard
+  deduplicates on it, so a persistent retry whose first attempt *did*
+  land (the reply was lost, or the forwarding hop failed after the
+  owner applied it) is recognised and not applied twice;
+* a ``429 Too Many Requests`` reply carries the shard's backpressure
+  hint in ``Retry-After`` (fractional seconds); persistent calls sleep
+  that long — instead of the blind backoff — before retrying.
 """
 
 from __future__ import annotations
 
 import http.client
+import itertools
 import json
 import time
+import uuid
 from typing import Any
 
+from repro.errors import ConfigurationError
 from repro.types import NodeId, ObjectId
 
 from repro.live.config import PeerDirectory
@@ -33,7 +46,23 @@ PERSISTENT_BACKOFF = 0.05
 
 
 class TransportError(Exception):
-    """An HTTP control/data exchange failed (connect, I/O, or status)."""
+    """An HTTP control/data exchange failed (connect, I/O, or status).
+
+    ``status`` is the HTTP status when the exchange completed with an
+    error reply (else ``None``); ``retry_after`` carries a 429's parsed
+    backpressure hint in seconds.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int | None = None,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
 
 
 def http_request(
@@ -60,9 +89,17 @@ def http_request(
         except (OSError, http.client.HTTPException) as exc:
             raise TransportError(f"{method} {host}:{port}{path}: {exc}") from exc
         if response.status >= 400:
+            retry_after = None
+            if response.status == 429:
+                try:
+                    retry_after = float(response.getheader("Retry-After", ""))
+                except ValueError:
+                    retry_after = None
             raise TransportError(
                 f"{method} {host}:{port}{path} -> {response.status} "
-                f"{data[:200]!r}"
+                f"{data[:200]!r}",
+                status=response.status,
+                retry_after=retry_after,
             )
         return data
     finally:
@@ -104,9 +141,26 @@ def _persistent(
         except TransportError as exc:
             last_error = exc
             if attempt + 1 < PERSISTENT_ATTEMPTS:
-                time.sleep(PERSISTENT_BACKOFF * (attempt + 1))
+                if exc.retry_after is not None:
+                    # Honour the shard's backpressure hint: it knows
+                    # when the next token arrives, blind backoff doesn't.
+                    time.sleep(exc.retry_after)
+                else:
+                    time.sleep(PERSISTENT_BACKOFF * (attempt + 1))
     assert last_error is not None
     raise last_error
+
+
+def register_shard(
+    gateway: tuple[str, int], shard: int, address: tuple[str, int]
+) -> None:
+    """Announce a shard's bound address to the gateway (persistent)."""
+    _persistent(
+        gateway,
+        "POST",
+        "/admin/register_shard",
+        payload={"shard": shard, "host": address[0], "port": address[1]},
+    )
 
 
 class ControlPlane:
@@ -115,32 +169,82 @@ class ControlPlane:
     def __init__(self, directory: PeerDirectory, *, timeout: float = 5.0) -> None:
         self.directory = directory
         self.timeout = timeout
+        # Registry-mutation ids: unique across processes (uuid origin)
+        # and cheap per message (a counter).  The owning shard dedups
+        # on these, making persistent retries idempotent end to end.
+        self._msg_origin = uuid.uuid4().hex[:12]
+        self._msg_seq = itertools.count()
+
+    def _msg_id(self) -> str:
+        return f"{self._msg_origin}-{next(self._msg_seq)}"
+
+    def refresh_peers(self) -> None:
+        """Re-pull the peer address book from the front door.
+
+        Ephemeral-port deployments converge by registration: every
+        process announces its bound port to the front door, which
+        aggregates the address book at ``/admin/endpoints``.
+        """
+        self.directory.apply_peers(
+            http_json(
+                self.directory.redirector(),
+                "GET",
+                "/admin/endpoints",
+                timeout=self.timeout,
+            )
+        )
+
+    def _host_address(self, node: NodeId) -> tuple[str, int]:
+        """Resolve a host's address, refreshing from the front door once.
+
+        A still-unknown peer (it has not registered yet) surfaces as
+        :class:`TransportError` — the same failure mode as an
+        unreachable one — so callers degrade gracefully instead of
+        crashing a placement tick.
+        """
+        try:
+            return self.directory.host(node)
+        except ConfigurationError:
+            pass
+        try:
+            self.refresh_peers()
+            return self.directory.host(node)
+        except (ConfigurationError, TransportError) as exc:
+            raise TransportError(f"host {node} has no known address: {exc}") from exc
 
     # -- host-to-host ---------------------------------------------------
 
     def create_obj(self, candidate: NodeId, payload: dict[str, Any]) -> dict[str, Any]:
         """Offer a replica/affinity unit to ``candidate`` (Figure 4)."""
         return http_json(
-            self.directory.host(candidate),
+            self._host_address(candidate),
             "POST",
             "/control/create_obj",
             payload=payload,
             timeout=self.timeout,
         )
 
-    def host_load(self, node: NodeId) -> dict[str, Any]:
+    def host_load(
+        self, node: NodeId, *, address: tuple[str, int] | None = None
+    ) -> dict[str, Any]:
         """The offload probe: ask a host for its current load estimate."""
         return http_json(
-            self.directory.host(node),
+            address if address is not None else self._host_address(node),
             "GET",
             "/control/load",
             timeout=self.timeout,
         )
 
-    def fetch_object(self, node: NodeId, obj: ObjectId) -> bytes:
+    def fetch_object(
+        self,
+        node: NodeId,
+        obj: ObjectId,
+        *,
+        address: tuple[str, int] | None = None,
+    ) -> bytes:
         """Pull an object's bytes from a replica host (the bulk copy)."""
         return http_request(
-            self.directory.host(node),
+            address if address is not None else self._host_address(node),
             "GET",
             f"/data/{obj}",
             timeout=self.timeout,
@@ -154,7 +258,12 @@ class ControlPlane:
             self.directory.redirector(),
             "POST",
             "/control/replica_created",
-            payload={"obj": obj, "host": node, "affinity": affinity},
+            payload={
+                "obj": obj,
+                "host": node,
+                "affinity": affinity,
+                "msg_id": self._msg_id(),
+            },
             timeout=self.timeout,
         )
 
@@ -164,7 +273,12 @@ class ControlPlane:
             self.directory.redirector(),
             "POST",
             "/control/affinity_reduced",
-            payload={"obj": obj, "host": node, "affinity": affinity},
+            payload={
+                "obj": obj,
+                "host": node,
+                "affinity": affinity,
+                "msg_id": self._msg_id(),
+            },
             timeout=self.timeout,
         )
 
@@ -174,7 +288,7 @@ class ControlPlane:
             self.directory.redirector(),
             "POST",
             "/control/request_drop",
-            payload={"obj": obj, "host": node},
+            payload={"obj": obj, "host": node, "msg_id": self._msg_id()},
             timeout=self.timeout,
         )
 
@@ -200,3 +314,24 @@ class ControlPlane:
         if not isinstance(candidates, list):
             raise TransportError("malformed offload candidate list")
         return candidates
+
+    # -- membership (ephemeral-port deployments) ------------------------
+
+    def register_host(self, node: NodeId, address: tuple[str, int]) -> None:
+        """Announce a host's bound address to the front door (persistent)."""
+        _persistent(
+            self.directory.redirector(),
+            "POST",
+            "/admin/register_host",
+            payload={"node": node, "host": address[0], "port": address[1]},
+            timeout=self.timeout,
+        )
+
+    def endpoints(self) -> dict[str, Any]:
+        """The front door's current view of the deployment's addresses."""
+        return http_json(
+            self.directory.redirector(),
+            "GET",
+            "/admin/endpoints",
+            timeout=self.timeout,
+        )

@@ -76,10 +76,33 @@ class LiveConfig:
     capacity: float = 200.0
     storage_limit: int | None = None
     bind_host: str = "127.0.0.1"
-    #: Redirector listens on ``base_port``; host ``i`` on
-    #: ``base_port + 1 + i``.  0 means "ephemeral ports" (single-process
-    #: deployments only, used by the tests).
+    #: Port layout.  With one shard (the PR-4 shape): the redirector
+    #: listens on ``base_port`` and host ``i`` on ``base_port + 1 + i``.
+    #: With ``num_shards > 1``: the gateway takes ``base_port``, shard
+    #: ``s`` takes ``base_port + 1 + s`` and host ``i`` follows at
+    #: ``base_port + 1 + num_shards + i``.  0 means "ephemeral ports":
+    #: every server binds port 0 and addresses travel by registration
+    #: (single-process deployments, tests, and the port-conflict-proof
+    #: CI flow).
     base_port: int = 8100
+    #: Redirector shards partitioning the object namespace by
+    #: consistent hashing (DESIGN §10).  1 = the unsharded PR-4 tier.
+    num_shards: int = 1
+    #: Virtual nodes per shard on the hash ring (ownership mapping —
+    #: every participant must agree, so it lives in the shared config).
+    ring_vnodes: int = 128
+    #: Control-plane token-bucket rate per shard, mutations/sec
+    #: (``None`` disables rate limiting; the in-flight bound and 429
+    #: machinery stay active either way).
+    control_rate_limit: float | None = None
+    #: Token-bucket burst capacity for the control plane.
+    control_burst: float = 64.0
+    #: Bounded-queue backpressure: max control requests in flight per
+    #: shard before 429s start.
+    control_max_inflight: int = 256
+    #: Optional token-bucket rate for ``GET /route`` (gateway and
+    #: shards); ``None`` leaves the data plane unthrottled.
+    route_rate_limit: float | None = None
     protocol: ProtocolConfig = field(default_factory=live_protocol_config)
 
     def __post_init__(self) -> None:
@@ -96,11 +119,33 @@ class LiveConfig:
             raise ConfigurationError("object size must be at least 1 byte")
         if self.capacity <= 0:
             raise ConfigurationError("host capacity must be positive")
-        if self.base_port != 0 and not 1024 <= self.base_port <= 65535 - self.num_hosts:
+        if self.num_shards < 1:
+            raise ConfigurationError("a deployment needs at least one shard")
+        if self.ring_vnodes < 1:
+            raise ConfigurationError("ring_vnodes must be at least 1")
+        if self.control_rate_limit is not None and self.control_rate_limit <= 0:
+            raise ConfigurationError("control_rate_limit must be positive")
+        if self.control_burst < 1:
+            raise ConfigurationError("control_burst must be at least 1")
+        if self.control_max_inflight < 1:
+            raise ConfigurationError("control_max_inflight must be at least 1")
+        if self.route_rate_limit is not None and self.route_rate_limit <= 0:
+            raise ConfigurationError("route_rate_limit must be positive")
+        ports_needed = self.num_hosts + self._shard_port_offset()
+        if self.base_port != 0 and not 1024 <= self.base_port <= 65535 - ports_needed:
             raise ConfigurationError(
                 f"base port must be 0 (ephemeral) or leave room for "
-                f"{self.num_hosts} host ports below 65536, got {self.base_port}"
+                f"{ports_needed} ports below 65536, got {self.base_port}"
             )
+
+    def _shard_port_offset(self) -> int:
+        """Host ports start this far above ``base_port``.
+
+        One shard keeps the PR-4 layout (redirector at base, hosts at
+        +1); a sharded tier inserts the gateway at base and the shards
+        at +1..+num_shards.
+        """
+        return 1 if self.num_shards == 1 else 1 + self.num_shards
 
     # ------------------------------------------------------------------
     # World model
@@ -124,12 +169,36 @@ class LiveConfig:
     # ------------------------------------------------------------------
 
     def redirector_address(self) -> tuple[str, int]:
+        """The deployment's front door: the gateway when sharded, the
+        single redirector otherwise.  Hosts and clients contact this."""
         return self.bind_host, self.base_port
+
+    def gateway_address(self) -> tuple[str, int]:
+        if self.num_shards == 1:
+            raise ConfigurationError(
+                "a single-shard deployment has no gateway; the redirector "
+                "is the front door"
+            )
+        return self.bind_host, self.base_port
+
+    def shard_address(self, shard: int) -> tuple[str, int]:
+        if not 0 <= shard < self.num_shards:
+            raise ConfigurationError(
+                f"no shard {shard} in a {self.num_shards}-shard deployment"
+            )
+        if self.num_shards == 1:
+            return self.redirector_address()
+        port = 0 if self.base_port == 0 else self.base_port + 1 + shard
+        return self.bind_host, port
 
     def host_address(self, node: NodeId) -> tuple[str, int]:
         if not 0 <= node < self.num_hosts:
             raise ConfigurationError(f"no host {node} in a {self.num_hosts}-host deployment")
-        port = 0 if self.base_port == 0 else self.base_port + 1 + node
+        port = (
+            0
+            if self.base_port == 0
+            else self.base_port + self._shard_port_offset() + node
+        )
         return self.bind_host, port
 
     # ------------------------------------------------------------------
@@ -167,6 +236,7 @@ class PeerDirectory:
 
     def __init__(self) -> None:
         self._hosts: dict[NodeId, tuple[str, int]] = {}
+        self._shards: dict[int, tuple[str, int]] = {}
         self._redirector: tuple[str, int] | None = None
 
     @classmethod
@@ -177,12 +247,17 @@ class PeerDirectory:
             )
         directory = cls()
         directory.set_redirector(config.redirector_address())
+        for shard in range(config.num_shards):
+            directory.set_shard(shard, config.shard_address(shard))
         for node in range(config.num_hosts):
             directory.set_host(node, config.host_address(node))
         return directory
 
     def set_host(self, node: NodeId, address: tuple[str, int]) -> None:
         self._hosts[node] = address
+
+    def set_shard(self, shard: int, address: tuple[str, int]) -> None:
+        self._shards[shard] = address
 
     def set_redirector(self, address: tuple[str, int]) -> None:
         self._redirector = address
@@ -193,6 +268,20 @@ class PeerDirectory:
         except KeyError:
             raise ConfigurationError(f"no address known for host {node}") from None
 
+    def shard(self, shard: int) -> tuple[str, int]:
+        try:
+            return self._shards[shard]
+        except KeyError:
+            raise ConfigurationError(
+                f"no address known for shard {shard}"
+            ) from None
+
+    def knows_shard(self, shard: int) -> bool:
+        return shard in self._shards
+
+    def knows_host(self, node: NodeId) -> bool:
+        return node in self._hosts
+
     def redirector(self) -> tuple[str, int]:
         if self._redirector is None:
             raise ConfigurationError("no address known for the redirector")
@@ -200,3 +289,36 @@ class PeerDirectory:
 
     def hosts(self) -> dict[NodeId, tuple[str, int]]:
         return dict(self._hosts)
+
+    def shards(self) -> dict[int, tuple[str, int]]:
+        return dict(self._shards)
+
+    def apply_peers(self, payload: dict) -> None:
+        """Fold a ``/control/peers`` announcement in (gateway fan-out).
+
+        The payload carries JSON-shaped maps (string keys, two-element
+        address lists); unknown sections are ignored so old and new
+        processes can coexist in one deployment.
+        """
+        for shard, address in (payload.get("shards") or {}).items():
+            self.set_shard(int(shard), (str(address[0]), int(address[1])))
+        for node, address in (payload.get("hosts") or {}).items():
+            self.set_host(int(node), (str(address[0]), int(address[1])))
+        redirector = payload.get("redirector")
+        if redirector:
+            self.set_redirector((str(redirector[0]), int(redirector[1])))
+
+    def peers_payload(self) -> dict:
+        """The JSON shape :meth:`apply_peers` consumes."""
+        payload: dict = {
+            "shards": {
+                str(shard): list(address)
+                for shard, address in self._shards.items()
+            },
+            "hosts": {
+                str(node): list(address) for node, address in self._hosts.items()
+            },
+        }
+        if self._redirector is not None:
+            payload["redirector"] = list(self._redirector)
+        return payload

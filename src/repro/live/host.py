@@ -171,6 +171,11 @@ class LiveHostNode:
     async def start(self, *, timers: bool = True) -> int:
         """Bind the server (returning the port) and start the timers."""
         port = await self.server.start()
+        # Advertise the bound address: our own directory entry (local
+        # single-process deployments read it directly) and the CreateObj
+        # source address (peers pull the bulk copy from it).
+        self.control.directory.set_host(self.node, (self.server.host, port))
+        self.system.advertised = (self.server.host, port)
         if timers:
             self.start_timers()
         return port

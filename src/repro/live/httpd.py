@@ -36,7 +36,9 @@ _STATUS_PHRASES = {
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
 }
 
@@ -100,6 +102,18 @@ def json_response(payload: object, status: int = 200) -> Response:
 
 def error_response(status: int, message: str) -> Response:
     return json_response({"error": message}, status=status)
+
+
+def throttle_response(retry_after: float) -> Response:
+    """A 429 carrying the backpressure brake's retry hint.
+
+    ``Retry-After`` is sent in (possibly fractional) seconds — the RFC's
+    integer form is useless at sub-second control-plane timescales, and
+    every client in this deployment parses it as a float.
+    """
+    response = json_response({"error": "throttled"}, status=429)
+    response.headers["Retry-After"] = f"{max(retry_after, 0.0):.3f}"
+    return response
 
 
 Handler = Callable[[Request, dict[str, str]], Awaitable[Response]]
@@ -199,6 +213,12 @@ class HttpServer:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # peer went away mid-exchange; nothing to answer
+        except asyncio.CancelledError:
+            # Server shutdown with a keep-alive connection parked
+            # between requests: the loop cancels the pending read.
+            # Completing normally (the writer closes below) keeps the
+            # streams connection callback from logging the cancellation.
+            pass
         finally:
             writer.close()
             try:

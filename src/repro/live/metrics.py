@@ -46,7 +46,7 @@ def summarize_deployment(snapshot: dict[str, Any]) -> dict[str, Any]:
     replicas_total = int(redirector.get("total_replicas", 0))
     registry = redirector.get("registry", {})
     num_objects = len(registry) or 1
-    return {
+    summary = {
         "requests_serviced": sum(h.get("serviced_total", 0) for h in hosts),
         "requests_routed": int(redirector.get("routed_total", 0)),
         "requests_unroutable": int(redirector.get("unroutable_total", 0)),
@@ -66,6 +66,24 @@ def summarize_deployment(snapshot: dict[str, Any]) -> dict[str, Any]:
         "chose_closest": int(redirector.get("chose_closest", 0)),
         "chose_least_requested": int(redirector.get("chose_least_requested", 0)),
     }
+    # Sharded-tier counters, present only when the tier is sharded so a
+    # single-redirector summary keeps its PR-4 shape exactly.
+    shards = snapshot.get("shards")
+    if shards:
+        summary["num_shards"] = len(shards)
+        summary["cross_shard_forwards"] = int(
+            redirector.get("forwarded_total", 0)
+        )
+        summary["control_deduplicated"] = int(
+            redirector.get("deduplicated_total", 0)
+        )
+        summary["control_throttled"] = int(redirector.get("throttled_total", 0))
+        gateway = snapshot.get("gateway") or {}
+        summary["gateway_route_forwards"] = int(gateway.get("route_forwards", 0))
+        summary["gateway_control_forwards"] = int(
+            gateway.get("control_forwards", 0)
+        )
+    return summary
 
 
 def write_metrics(path: str | Path, snapshot: dict[str, Any]) -> dict[str, Any]:

@@ -1,0 +1,246 @@
+"""An asyncio HTTP/1.1 client with keep-alive connection pooling.
+
+The gateway forwards every request it receives, and the load generator
+issues tens of thousands of requests per second — at those rates a fresh
+TCP connection per exchange (the PR-4 loadgen's model) spends more time
+in connect/teardown than in the request itself and exhausts ephemeral
+ports.  :class:`HttpPool` keeps idle connections per peer and reuses
+them:
+
+* ``request()`` borrows an idle connection (or dials a new one), sends
+  one ``Connection: keep-alive`` exchange, and returns the connection to
+  the idle list unless the server answered ``Connection: close``;
+* a connection that fails mid-exchange is discarded; if it was a
+  *reused* connection the request is retried once on a fresh dial —
+  the server may have closed the idle socket between exchanges, which
+  is indistinguishable from a real failure only on the first write;
+* at most ``max_idle_per_peer`` sockets are parked per peer; extras are
+  closed on release rather than cached forever.
+
+The pool is deliberately not a semaphore: concurrency limits belong to
+the caller (the loadgen's open-loop concurrency bound, the gateway's
+in-flight gate), the pool only amortises connection setup.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+Address = tuple[str, int]
+
+
+class PoolError(Exception):
+    """An HTTP exchange through the pool failed (connect or I/O)."""
+
+
+class _Connection:
+    __slots__ = ("reader", "writer")
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+
+    def close(self) -> None:
+        try:
+            self.writer.close()
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+
+class HttpPool:
+    """Keep-alive HTTP/1.1 connections, pooled per peer address."""
+
+    def __init__(
+        self, *, timeout: float = 10.0, max_idle_per_peer: int = 32
+    ) -> None:
+        self.timeout = timeout
+        self.max_idle_per_peer = max_idle_per_peer
+        self._idle: dict[Address, list[_Connection]] = {}
+        #: Connections dialled / exchanges served over a reused socket,
+        #: for tests and the loadgen's efficiency metrics.
+        self.dials = 0
+        self.reuses = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    async def request(
+        self,
+        address: Address,
+        method: str,
+        path: str,
+        *,
+        payload: dict[str, Any] | None = None,
+        body: bytes | None = None,
+        timeout: float | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One exchange; returns ``(status, headers, body)``.
+
+        ``payload`` is JSON-encoded; ``body`` is sent raw.  Raises
+        :class:`PoolError` on connect or I/O failure (never on an HTTP
+        error status — status handling is the caller's protocol).
+        """
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        deadline = timeout if timeout is not None else self.timeout
+        connection, reused = await self._acquire(address, deadline)
+        try:
+            reply = await asyncio.wait_for(
+                self._exchange(connection, address, method, path, body, payload),
+                deadline,
+            )
+        except (ConnectionError, OSError, asyncio.IncompleteReadError,
+                asyncio.TimeoutError) as exc:
+            connection.close()
+            if reused:
+                # The parked socket had gone stale; one fresh dial.
+                return await self._retry_fresh(
+                    address, method, path, body, payload, deadline
+                )
+            raise PoolError(f"{method} {address[0]}:{address[1]}{path}: {exc}") from exc
+        status, headers, data, keep_alive = reply
+        if keep_alive:
+            self._release(address, connection)
+        else:
+            connection.close()
+        return status, headers, data
+
+    async def request_json(
+        self,
+        address: Address,
+        method: str,
+        path: str,
+        *,
+        payload: dict[str, Any] | None = None,
+        timeout: float | None = None,
+    ) -> tuple[int, dict[str, str], dict]:
+        """Like :meth:`request`, decoding the body as a JSON object."""
+        status, headers, data = await self.request(
+            address, method, path, payload=payload, timeout=timeout
+        )
+        decoded: dict = {}
+        if data:
+            try:
+                parsed = json.loads(data)
+            except ValueError as exc:
+                raise PoolError(f"non-JSON reply from {path}: {data[:200]!r}") from exc
+            if isinstance(parsed, dict):
+                decoded = parsed
+        return status, headers, decoded
+
+    async def close(self) -> None:
+        """Close every idle connection (in-flight ones close on return)."""
+        for connections in self._idle.values():
+            for connection in connections:
+                connection.close()
+        self._idle.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    async def _acquire(
+        self, address: Address, deadline: float
+    ) -> tuple[_Connection, bool]:
+        idle = self._idle.get(address)
+        while idle:
+            connection = idle.pop()
+            if connection.reader.at_eof():
+                connection.close()
+                continue
+            self.reuses += 1
+            return connection, True
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(*address), deadline
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            raise PoolError(f"connect {address[0]}:{address[1]}: {exc}") from exc
+        self.dials += 1
+        return _Connection(reader, writer), False
+
+    def _release(self, address: Address, connection: _Connection) -> None:
+        idle = self._idle.setdefault(address, [])
+        if len(idle) < self.max_idle_per_peer and not connection.reader.at_eof():
+            idle.append(connection)
+        else:
+            connection.close()
+
+    async def _retry_fresh(
+        self,
+        address: Address,
+        method: str,
+        path: str,
+        body: bytes | None,
+        payload: dict[str, Any] | None,
+        deadline: float,
+    ) -> tuple[int, dict[str, str], bytes]:
+        connection, _ = await self._acquire(address, deadline)
+        try:
+            reply = await asyncio.wait_for(
+                self._exchange(connection, address, method, path, body, payload),
+                deadline,
+            )
+        except (ConnectionError, OSError, asyncio.IncompleteReadError,
+                asyncio.TimeoutError) as exc:
+            connection.close()
+            raise PoolError(f"{method} {address[0]}:{address[1]}{path}: {exc}") from exc
+        status, headers, data, keep_alive = reply
+        if keep_alive:
+            self._release(address, connection)
+        else:
+            connection.close()
+        return status, headers, data
+
+    async def _exchange(
+        self,
+        connection: _Connection,
+        address: Address,
+        method: str,
+        path: str,
+        body: bytes | None,
+        payload: dict[str, Any] | None,
+    ) -> tuple[int, dict[str, str], bytes, bool]:
+        host, port = address
+        head = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {host}:{port}",
+            "Connection: keep-alive",
+        ]
+        if payload is not None:
+            head.append("Content-Type: application/json")
+        if body is not None:
+            head.append(f"Content-Length: {len(body)}")
+        request = ("\r\n".join(head) + "\r\n\r\n").encode("ascii")
+        if body is not None:
+            request += body
+        writer = connection.writer
+        reader = connection.reader
+        writer.write(request)
+        await writer.drain()
+
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise ConnectionError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if line == b"":
+                raise ConnectionError("connection closed mid-headers")
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
+        data = await reader.readexactly(length) if length else b""
+        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+        return status, headers, data, keep_alive
+
+
+__all__ = ["Address", "HttpPool", "PoolError"]

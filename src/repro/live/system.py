@@ -65,6 +65,12 @@ class LiveSystem:
         #: process owns exactly its own server; the engine only ever
         #: indexes the node it is running placement for.
         self.hosts: dict[NodeId, HostServer] = {node: host}
+        #: This host's advertised ``(host, port)``, filled after bind.
+        #: Travels inside CreateObj offers so the candidate can pull the
+        #: bulk copy even when its own directory has no entry for the
+        #: source yet (ephemeral-port deployments converge via the
+        #: gateway's peers broadcast, which may still be in flight).
+        self.advertised: tuple[str, int] | None = None
         self.engine = PlacementEngine(self)
         #: Replica-set changes this host initiated or accepted, exported
         #: with the live metrics.
@@ -91,6 +97,8 @@ class LiveSystem:
             "reason": reason.value,
             "unit_load": unit_load,
         }
+        if self.advertised is not None:
+            payload["source_addr"] = list(self.advertised)
         try:
             reply = self.control.create_obj(candidate, payload)
         except TransportError:
@@ -149,9 +157,15 @@ class LiveSystem:
                 break
             # "The recipient responds to the requesting host with its
             # load value": the fresh probe, not the board report, seeds
-            # the running upper-bound estimate.
+            # the running upper-bound estimate.  The board entry may
+            # carry the candidate's address (sharded deployments attach
+            # it); fall back to the local directory otherwise.
+            addr = entry.get("addr")
             try:
-                reply = self.control.host_load(candidate)
+                reply = self.control.host_load(
+                    candidate,
+                    address=(str(addr[0]), int(addr[1])) if addr else None,
+                )
             except TransportError:
                 continue
             upper = float(reply.get("upper_load", 0.0))
@@ -218,8 +232,17 @@ class LiveSystem:
             return refuse(refusal)
         copied = 0
         if obj not in host.store:
+            source_addr = payload.get("source_addr")
             try:
-                data = self.control.fetch_object(source, obj)
+                data = self.control.fetch_object(
+                    source,
+                    obj,
+                    address=(
+                        (str(source_addr[0]), int(source_addr[1]))
+                        if source_addr
+                        else None
+                    ),
+                )
             except TransportError:
                 return refuse("copy-failed")
             copied = len(data)

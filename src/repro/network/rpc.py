@@ -45,8 +45,9 @@ behaviour for fault-free runs.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.network.faults import FORCED_DELIVERY_CAP, FaultPlane
 from repro.network.message import MessageClass
@@ -54,6 +55,52 @@ from repro.types import NodeId, Time
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.network.transport import Network
+
+
+class DedupCache:
+    """Idempotent-receive ledger: message id → cached reply.
+
+    The receiver-side half of at-least-once delivery, shared by both
+    planes: the simulator's retransmissions are recognised as duplicates
+    that "simply resend the response" (module docstring above), and the
+    live sharded redirector tier gives every registry mutation a
+    ``msg_id`` so a retried or re-forwarded ``replica_created`` /
+    ``request_drop`` is applied exactly once — the duplicate gets the
+    original reply back instead of re-executing the side effect.
+
+    Bounded LRU: a retry storm cannot balloon memory, and the capacity
+    only needs to cover the retry window (attempts x shards in flight),
+    far below the default.
+    """
+
+    __slots__ = ("_capacity", "_entries")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("dedup capacity must be at least 1")
+        self._capacity = capacity
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+
+    def get(self, msg_id: str) -> Any | None:
+        """The cached reply for ``msg_id``, or ``None`` if unseen."""
+        try:
+            self._entries.move_to_end(msg_id)
+        except KeyError:
+            return None
+        return self._entries[msg_id]
+
+    def put(self, msg_id: str, reply: Any) -> None:
+        """Record the reply produced by first executing ``msg_id``."""
+        self._entries[msg_id] = reply
+        self._entries.move_to_end(msg_id)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, msg_id: str) -> bool:
+        return msg_id in self._entries
 
 
 @dataclass(frozen=True, slots=True)

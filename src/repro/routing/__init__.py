@@ -14,11 +14,13 @@ per source/destination pair).  :class:`repro.routing.routes_db.RoutingDatabase`
 packages lookups, distance comparisons, and optional staleness modelling.
 """
 
+from repro.routing.hashring import HashRing
 from repro.routing.placement_opt import greedy_k_median, mean_detour
 from repro.routing.routes_db import RoutingDatabase
 from repro.routing.shortest_path import all_pairs_shortest_paths
 
 __all__ = [
+    "HashRing",
     "RoutingDatabase",
     "all_pairs_shortest_paths",
     "greedy_k_median",

@@ -2,7 +2,7 @@
 
 import copy
 
-from benchmarks.compare_baseline import compare
+from benchmarks.compare_baseline import compare, compare_live
 
 BASELINE = {
     "spec_hash": "abc",
@@ -78,3 +78,72 @@ def test_missing_point_and_metric_fail():
     current = copy.deepcopy(BASELINE)
     current["points"]["base"] = {}
     assert any("missing" in p for p in _check(current))
+
+
+# ----------------------------------------------------------------------
+# The --live saturation gate
+# ----------------------------------------------------------------------
+
+LIVE_BASELINE = {
+    "schema": "live-saturation/v1",
+    "results": {
+        "shards-1": {"sustained_rps": 300.0},
+        "shards-2": {"sustained_rps": 310.0},
+        "shards-4": {"sustained_rps": 305.0},
+    },
+    "speedup_4v1": 1.02,
+}
+
+
+def _check_live(current, tolerance=0.25):
+    return compare_live(current, LIVE_BASELINE, tolerance=tolerance)
+
+
+def test_live_identical_passes():
+    assert _check_live(copy.deepcopy(LIVE_BASELINE)) == []
+
+
+def test_live_improvement_and_small_regression_pass():
+    current = copy.deepcopy(LIVE_BASELINE)
+    current["results"]["shards-4"]["sustained_rps"] = 900.0  # 3x better
+    current["results"]["shards-1"]["sustained_rps"] = 240.0  # -20%
+    current["speedup_4v1"] = 3.75
+    assert _check_live(current) == []
+
+
+def test_live_sustained_regression_fails():
+    current = copy.deepcopy(LIVE_BASELINE)
+    current["results"]["shards-2"]["sustained_rps"] = 200.0  # -35%
+    problems = _check_live(current)
+    assert len(problems) == 1
+    assert "shards-2/sustained_rps regressed" in problems[0]
+
+
+def test_live_sustained_collapse_to_zero_fails():
+    current = copy.deepcopy(LIVE_BASELINE)
+    current["results"]["shards-4"]["sustained_rps"] = 0.0
+    current["speedup_4v1"] = 0.0
+    problems = _check_live(current)
+    assert any("sustained no load at all" in p for p in problems)
+
+
+def test_live_speedup_regression_fails():
+    current = copy.deepcopy(LIVE_BASELINE)
+    current["speedup_4v1"] = 0.5  # the sharded tier got slower than 1 shard
+    problems = _check_live(current)
+    assert any("speedup_4v1 regressed" in p for p in problems)
+
+
+def test_live_missing_configuration_fails():
+    current = copy.deepcopy(LIVE_BASELINE)
+    del current["results"]["shards-4"]
+    assert any("missing" in p for p in _check_live(current))
+
+
+def test_live_schema_mismatch_fails_fast():
+    current = copy.deepcopy(LIVE_BASELINE)
+    current["schema"] = "other/v2"
+    current["results"]["shards-1"]["sustained_rps"] = 0.0  # hash short-circuits
+    problems = _check_live(current)
+    assert len(problems) == 1
+    assert "schema mismatch" in problems[0]

@@ -161,6 +161,49 @@ def _add_fault_options(parser: argparse.ArgumentParser) -> None:
         metavar="NODE:AT:DUR",
         help="crash NODE at AT seconds for DUR seconds (repeatable)",
     )
+    faults.add_argument(
+        "--partition",
+        action="append",
+        default=None,
+        metavar="NODES:AT:DUR",
+        help="partition the comma-separated NODES from the rest at AT "
+        "seconds for DUR seconds, e.g. 0,1,2:90:60 (repeatable)",
+    )
+
+
+def _add_consistency_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "consistency plane",
+        "any of these enables Sec. 5 provider writes and repair loops",
+    )
+    group.add_argument(
+        "--write-rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help="provider updates per second across the whole system",
+    )
+    group.add_argument(
+        "--category-mix",
+        default=None,
+        metavar="C1:C2:C3",
+        help="object fractions per consistency category, e.g. 0.8:0.15:0.05",
+    )
+    group.add_argument(
+        "--epidemic-interval",
+        type=float,
+        default=None,
+        metavar="S",
+        help="batch category-1 updates and flush every S seconds "
+        "(default: propagate immediately)",
+    )
+    group.add_argument(
+        "--anti-entropy-interval",
+        type=float,
+        default=None,
+        metavar="S",
+        help="digest-exchange repair round period in seconds",
+    )
 
 
 def _add_live_config_options(parser: argparse.ArgumentParser) -> None:
@@ -301,6 +344,7 @@ def _populate_run_parser(parser: argparse.ArgumentParser) -> None:
         help="verify protocol invariants at the end of the run",
     )
     _add_fault_options(parser)
+    _add_consistency_options(parser)
     parser.add_argument(
         "--json",
         dest="json_out",
@@ -629,9 +673,30 @@ def _parse_outage(text: str) -> tuple[int, float, float]:
         raise SystemExit(f"bad --outage {text!r}; expected NODE:AT:DUR") from None
 
 
+def _parse_partition(text: str) -> tuple[tuple[int, ...], float, float]:
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise SystemExit(f"bad --partition {text!r}; expected NODES:AT:DUR")
+    try:
+        nodes = tuple(int(node) for node in parts[0].split(","))
+        return nodes, float(parts[1]), float(parts[2])
+    except ValueError:
+        raise SystemExit(
+            f"bad --partition {text!r}; expected NODES:AT:DUR"
+        ) from None
+
+
 def _fault_config(args: argparse.Namespace):
     """A FaultConfig from CLI flags, or None when none were given."""
-    flags = (args.loss, args.dup, args.jitter, args.mtbf, args.mttr, args.outage)
+    flags = (
+        args.loss,
+        args.dup,
+        args.jitter,
+        args.mtbf,
+        args.mttr,
+        args.outage,
+        args.partition,
+    )
     if all(value is None for value in flags):
         return None
     if (args.mtbf is None) != (args.mttr is None):
@@ -646,6 +711,27 @@ def _fault_config(args: argparse.Namespace):
         mtbf=args.mtbf,
         mttr=args.mttr,
         outages=tuple(_parse_outage(o) for o in args.outage or ()),
+        partitions=tuple(_parse_partition(p) for p in args.partition or ()),
+    )
+
+
+def _consistency_config(args: argparse.Namespace):
+    """A ConsistencyConfig from CLI flags, or None when none were given."""
+    flags = (
+        args.write_rate,
+        args.category_mix,
+        args.epidemic_interval,
+        args.anti_entropy_interval,
+    )
+    if all(value is None for value in flags):
+        return None
+    from repro.consistency.config import ConsistencyConfig
+
+    return ConsistencyConfig(
+        write_rate=args.write_rate or 0.0,
+        category_mix=args.category_mix or (1.0, 0.0, 0.0),
+        epidemic_interval=args.epidemic_interval,
+        anti_entropy_interval=args.anti_entropy_interval,
     )
 
 
@@ -664,6 +750,9 @@ def run_main(args: argparse.Namespace) -> int:
     faults = _fault_config(args)
     if faults is not None:
         config = config.replace(faults=faults)
+    consistency = _consistency_config(args)
+    if consistency is not None:
+        config = config.replace(consistency=consistency)
     print(f"running {config.name!r} ({args.distribution} distribution) ...")
     result = run_scenario(config)
 
@@ -699,6 +788,28 @@ def run_main(args: argparse.Namespace) -> int:
                 ["repairs", f"{faulty.get('repairs', 0.0):.0f}"],
                 ["unavailability",
                  f"{faulty.get('unavailability_seconds', 0.0):.1f} s"],
+            ]
+        )
+    if result.system.consistency_plane is not None:
+        from repro.metrics.staleness import staleness_metrics
+
+        stale = staleness_metrics(result.system, config.duration)
+        rows.extend(
+            [
+                ["writes applied / propagated",
+                 f"{stale['writes_applied']:.0f} / "
+                 f"{stale['updates_propagated']:.0f}"],
+                ["stale reads",
+                 f"{stale['stale_reads']:.0f} "
+                 f"({stale['stale_read_fraction']:.2%} of reads)"],
+                ["divergence windows / max",
+                 f"{stale['divergence_windows_opened']:.0f} / "
+                 f"{stale['divergence_window_max_seconds']:.1f} s"],
+                ["read repairs",
+                 f"{stale['read_repairs']:.0f} of "
+                 f"{stale['read_repair_attempts']:.0f} attempts"],
+                ["anti-entropy repushes",
+                 f"{stale.get('anti_entropy_repushes', 0.0):.0f}"],
             ]
         )
     print()

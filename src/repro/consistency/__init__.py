@@ -24,16 +24,22 @@ update traffic charged to the backbone), and
 :mod:`~repro.consistency.merge` provides commuting-statistics merging.
 """
 
+from repro.consistency.antientropy import AntiEntropyDaemon
 from repro.consistency.categories import Category, ConsistencyPolicy
+from repro.consistency.config import ConsistencyConfig
 from repro.consistency.epidemic import EpidemicBatcher
 from repro.consistency.merge import CountingStats, merge_counts
+from repro.consistency.plane import ConsistencyPlane
 from repro.consistency.primary_copy import PrimaryCopyManager
 
 __all__ = [
     "Category",
+    "ConsistencyConfig",
+    "ConsistencyPlane",
     "ConsistencyPolicy",
     "PrimaryCopyManager",
     "EpidemicBatcher",
+    "AntiEntropyDaemon",
     "CountingStats",
     "merge_counts",
 ]

@@ -1,0 +1,118 @@
+"""Scenario-level configuration for the Sec. 5 consistency plane.
+
+A :class:`ConsistencyConfig` rides inside
+:class:`~repro.scenarios.config.ScenarioConfig` and controls whether a
+scenario runs provider writes over the (possibly faulted) RPC layer,
+how objects are split across the paper's three update categories, and
+which repair machinery (epidemic batching, anti-entropy, read-repair)
+is active.  The all-defaults instance means "consistency plane off" —
+scenarios built before this module existed are unaffected, and the
+sweep spec hash drops the block entirely when it is at defaults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.types import Time
+
+
+@dataclass(frozen=True, slots=True)
+class ConsistencyConfig:
+    """Knobs for the write path and its repair loops.
+
+    ``category_mix`` is the probability split ``(category1, category2,
+    category3)`` objects are assigned to (paper Sec. 5: primary-copy /
+    commuting statistics / non-commuting).  It accepts a ``"a:b:c"``
+    string for CLI and sweep-override ergonomics (colons, because the
+    sweep CLI splits ``--set`` values on commas).
+    """
+
+    #: Provider update rate (writes/sec across the whole system).
+    #: 0.0 disables the write workload.
+    write_rate: float = 0.0
+    #: Fraction of objects in categories 1/2/3.  Must sum to 1.
+    category_mix: tuple[float, float, float] = (1.0, 0.0, 0.0)
+    #: Epidemic flush period for category-1 updates; ``None`` (or ``0``,
+    #: for sweep axes) means immediate propagation.
+    epidemic_interval: Time | None = None
+    #: Anti-entropy digest-exchange period; ``None`` (or ``0``) disables
+    #: the daemon.
+    anti_entropy_interval: Time | None = None
+    #: Repair a detected stale serve immediately (subject to the
+    #: epidemic window — reads inside the flush period are expected
+    #: stale and not repaired).
+    read_repair: bool = True
+    #: Replica cap for category-3 (non-commuting) objects.
+    non_commuting_replica_limit: int = 1
+
+    def __post_init__(self) -> None:
+        mix: Any = self.category_mix
+        if isinstance(mix, str):
+            parts = mix.split(":")
+            if len(parts) != 3:
+                raise ConfigurationError(
+                    f"category mix must be 'c1:c2:c3', got {mix!r}"
+                )
+            try:
+                mix = tuple(float(part) for part in parts)
+            except ValueError:
+                raise ConfigurationError(
+                    f"category mix must be numeric, got {mix!r}"
+                ) from None
+        else:
+            mix = tuple(float(part) for part in mix)
+        if len(mix) != 3:
+            raise ConfigurationError(
+                f"category mix needs exactly 3 entries, got {self.category_mix!r}"
+            )
+        if any(part < 0 for part in mix):
+            raise ConfigurationError(
+                f"category mix entries must be non-negative, got {mix!r}"
+            )
+        if not math.isclose(sum(mix), 1.0, rel_tol=0.0, abs_tol=1e-9):
+            raise ConfigurationError(
+                f"category mix must sum to 1, got {mix!r}"
+            )
+        object.__setattr__(self, "category_mix", mix)
+        if self.write_rate < 0:
+            raise ConfigurationError(
+                f"write rate must be non-negative, got {self.write_rate}"
+            )
+        # 0 means "off" (immediate propagation / no daemon) — the sweep
+        # CLI cannot spell None, so interval axes use 0 for that point.
+        for field in ("epidemic_interval", "anti_entropy_interval"):
+            value = getattr(self, field)
+            if value == 0:
+                object.__setattr__(self, field, None)
+            elif value is not None and value < 0:
+                raise ConfigurationError(
+                    f"{field.replace('_', ' ')} must be non-negative, "
+                    f"got {value}"
+                )
+        if self.non_commuting_replica_limit < 1:
+            raise ConfigurationError(
+                "non-commuting replica limit must be at least 1, got "
+                f"{self.non_commuting_replica_limit}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this configuration activates the consistency plane."""
+        return (
+            self.write_rate > 0
+            or self.category_mix != (1.0, 0.0, 0.0)
+            or self.epidemic_interval is not None
+            or self.anti_entropy_interval is not None
+        )
+
+    def replace(self, **changes: Any) -> ConsistencyConfig:
+        """Return a copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+__all__ = ["ConsistencyConfig"]

@@ -5,6 +5,20 @@ using epidemic mechanisms" (citing Demers et al.'s anti-entropy work).
 :class:`EpidemicBatcher` accumulates dirty objects and flushes them on a
 fixed period, amortising propagation cost for write-heavy providers at
 the price of a bounded staleness window (one flush period).
+
+Dirty objects are bucketed by the primary that will push them, which is
+what makes the batcher crash-aware: when a host crashes, the propagation
+queued at it is lost with the crash (:meth:`drop_host`, wired to the
+injector's crash observers by the consistency plane), leaving replicas
+divergent until anti-entropy or read-repair reconciles them.  The
+updates themselves survive — versions are never rolled back — only the
+queued pushes die.
+
+Lifecycle: :meth:`stop` flushes whatever is still pending (a clean
+shutdown does not silently drop queued updates) and is idempotent, as is
+:meth:`flush_now` after stop.  Marking new objects dirty on a stopped
+batcher is a programming error and raises
+:class:`~repro.errors.ConsistencyError`.
 """
 
 from __future__ import annotations
@@ -13,7 +27,7 @@ from repro.consistency.primary_copy import PrimaryCopyManager
 from repro.errors import ConsistencyError
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
-from repro.types import ObjectId, Time
+from repro.types import NodeId, ObjectId, Time
 
 
 class EpidemicBatcher:
@@ -28,8 +42,11 @@ class EpidemicBatcher:
     ) -> None:
         if period <= 0:
             raise ConsistencyError(f"flush period must be positive, got {period}")
+        self._sim = sim
         self._manager = manager
-        self._dirty: set[ObjectId] = set()
+        #: Dirty objects keyed by the primary that will push them.
+        self._dirty: dict[NodeId, set[ObjectId]] = {}
+        self._stopped = False
         self.period = period
         self.flushes = 0
         self._process = PeriodicProcess(sim, period, self._flush)
@@ -37,21 +54,51 @@ class EpidemicBatcher:
     @property
     def pending(self) -> int:
         """Objects with updates awaiting the next flush."""
-        return len(self._dirty)
+        return sum(len(objs) for objs in self._dirty.values())
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
 
     def mark_dirty(self, obj: ObjectId) -> None:
         """Record that ``obj`` was updated and needs propagation."""
-        self._dirty.add(obj)
+        if self._stopped:
+            raise ConsistencyError(
+                f"cannot mark object {obj} dirty on a stopped batcher"
+            )
+        primary = self._manager.primary(obj)
+        self._dirty.setdefault(primary, set()).add(obj)
+
+    def drop_host(self, node: NodeId) -> int:
+        """Discard propagation queued at a crashed primary.
+
+        Returns the number of dirty objects whose queued pushes were
+        lost.  Their replicas stay stale until anti-entropy re-detects
+        the divergence.
+        """
+        return len(self._dirty.pop(node, ()))
 
     def _flush(self, now: Time) -> None:
-        for obj in sorted(self._dirty):
-            self._manager.propagate(obj)
+        for primary in sorted(self._dirty):
+            for obj in sorted(self._dirty[primary]):
+                self._manager.propagate(obj)
         self._dirty.clear()
         self.flushes += 1
 
     def flush_now(self) -> None:
         """Force an immediate flush outside the periodic schedule."""
-        self._flush(0.0)
+        if self._stopped:
+            return
+        self._flush(self._sim.now)
 
     def stop(self) -> None:
+        """Flush pending updates and halt the periodic process.
+
+        Idempotent: a second stop is a no-op.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._dirty:
+            self._flush(self._sim.now)
         self._process.stop()

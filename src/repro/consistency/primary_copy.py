@@ -12,18 +12,34 @@ the location of the primary copy is tracked by the object's redirector."
 through migrations), applies content-provider updates at the primary,
 and propagates them to the currently registered replica set — either
 immediately or batched through an :class:`~repro.consistency.epidemic.
-EpidemicBatcher` — charging the update bytes to the backbone.  Versions
-are monotone counters; replicas converge to the primary's version once
-propagation reaches them (plus, for fresh copies, at CreateObj time,
-since the copied bytes are by definition current).
+EpidemicBatcher`.  Versions are monotone counters; replicas converge to
+the primary's version once propagation reaches them (plus, for fresh
+copies, at CreateObj time, since the copied bytes are by definition
+current — the provider publishes to the service's stable store as well
+as the primary, so copies and repair-restored replicas carry current
+content).
+
+Propagation rides :meth:`repro.network.rpc.RpcLayer.update_push`: with
+no fault plane that is exactly the one ``Network.account`` UPDATE charge
+per stale replica this module always made (byte-identical fault-free
+behaviour), while under a fault plane every push contends with drops,
+duplication, jitter, partitions and crashed hosts — a failed push leaves
+the replica stale, its version untouched, for the anti-entropy daemon or
+read-repair to reconcile later.
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.core.protocol import HostingSystem
 from repro.errors import ConsistencyError
-from repro.network.message import MessageClass
 from repro.types import NodeId, ObjectId
+
+#: Hook signature: (obj, host, version) after a replica's version is set.
+VersionObserver = Callable[[ObjectId, NodeId, int], None]
+#: Hook signature: (obj, host) after a replica's version is discarded.
+DropObserver = Callable[[ObjectId, NodeId], None]
 
 
 class PrimaryCopyManager:
@@ -44,6 +60,12 @@ class PrimaryCopyManager:
         self.updates_applied = 0
         #: Update messages propagated to replicas.
         self.updates_propagated = 0
+        #: Pushes that failed within the retry budget (replica left stale).
+        self.update_push_failures = 0
+        #: Observers fired on version changes / replica-version drops
+        #: (the consistency plane's staleness bookkeeping hangs here).
+        self.on_version: VersionObserver | None = None
+        self.on_drop: DropObserver | None = None
         for service in system.redirectors.services:
             service.add_observer(self._on_replica_change)
 
@@ -65,7 +87,7 @@ class PrimaryCopyManager:
                 self._primary[obj] = host
                 self._primary_version[obj] = 0
             # A fresh copy carries the current content.
-            self._versions[(obj, host)] = self._primary_version[obj]
+            self._set_version(obj, host, self._primary_version[obj])
         elif dropped:
             self._versions.pop((obj, host), None)
             if self._primary.get(obj) == host:
@@ -77,6 +99,13 @@ class PrimaryCopyManager:
                         f"object {obj} lost its last replica"
                     )  # pragma: no cover - redirector prevents this
                 self._primary[obj] = min(survivors)
+            if self.on_drop is not None:
+                self.on_drop(obj, host)
+
+    def _set_version(self, obj: ObjectId, host: NodeId, version: int) -> None:
+        self._versions[(obj, host)] = version
+        if self.on_version is not None:
+            self.on_version(obj, host, version)
 
     def primary(self, obj: ObjectId) -> NodeId:
         try:
@@ -91,8 +120,22 @@ class PrimaryCopyManager:
         except KeyError:
             raise ConsistencyError(f"no replica of {obj} on host {host}") from None
 
+    def version_or_default(self, obj: ObjectId, host: NodeId) -> int:
+        """Like :meth:`version` but 0 for an untracked replica."""
+        return self._versions.get((obj, host), 0)
+
     def primary_version(self, obj: ObjectId) -> int:
         return self._primary_version.get(obj, 0)
+
+    def written_objects(self) -> list[ObjectId]:
+        """Objects whose primary has applied at least one update, sorted.
+
+        The anti-entropy working set: objects still at version 0 cannot
+        have divergent replicas (fresh copies are current by definition).
+        """
+        return sorted(
+            obj for obj, version in self._primary_version.items() if version > 0
+        )
 
     # ------------------------------------------------------------------
     # Updates
@@ -108,33 +151,60 @@ class PrimaryCopyManager:
         primary = self.primary(obj)
         version = self._primary_version.get(obj, 0) + 1
         self._primary_version[obj] = version
-        self._versions[(obj, primary)] = version
+        self._set_version(obj, primary, version)
         self.updates_applied += 1
         if self._immediate:
             self.propagate(obj, size=size)
         return version
 
+    def repush(self, obj: ObjectId, host: NodeId, *, size: int | None = None) -> bool:
+        """Push the primary's current version to one replica.
+
+        Returns whether the replica was refreshed.  A no-op (``False``)
+        for the primary itself and for replicas already current.  The
+        update bytes (the full object by default) ride the RPC layer's
+        ``update_push`` channel; under a fault plane a push from a
+        crashed primary — or one that exhausts the retry budget — fails
+        and the replica's version stays where it was.
+        """
+        primary = self.primary(obj)
+        if host == primary:
+            return False
+        target_version = self._primary_version.get(obj, 0)
+        if self._versions.get((obj, host), 0) >= target_version:
+            return False
+        system = self._system
+        if system.fault_plane is not None and not system.hosts[primary].available:
+            # A crashed primary pushes nothing.  (Fault-free runs keep
+            # the legacy oracle semantics: propagation always succeeds.)
+            self.update_push_failures += 1
+            return False
+        payload = system.object_size if size is None else size
+        applied = system.rpc.update_push(
+            primary,
+            host,
+            payload,
+            ack_bytes=system.control_bytes,
+            target_alive=system.hosts[host].available,
+        )
+        if not applied:
+            self.update_push_failures += 1
+            return False
+        self._set_version(obj, host, target_version)
+        self.updates_propagated += 1
+        return True
+
     def propagate(self, obj: ObjectId, *, size: int | None = None) -> int:
         """Push the primary's version to all stale replicas.
 
-        Returns the number of replicas refreshed.  Update bytes (the full
-        object by default) are charged as UPDATE traffic from the primary
-        to each stale replica.
+        Returns the number of replicas refreshed; failed pushes are
+        counted on :attr:`update_push_failures` and leave their replica
+        stale.
         """
-        primary = self.primary(obj)
-        target_version = self._primary_version.get(obj, 0)
-        payload = self._system.object_size if size is None else size
         refreshed = 0
         for host in self._system.redirectors.for_object(obj).replica_hosts(obj):
-            if host == primary:
-                continue
-            if self._versions.get((obj, host), 0) < target_version:
-                self._system.network.account(
-                    primary, host, payload, MessageClass.UPDATE
-                )
-                self._versions[(obj, host)] = target_version
+            if self.repush(obj, host, size=size):
                 refreshed += 1
-                self.updates_propagated += 1
         return refreshed
 
     def stale_replicas(self, obj: ObjectId) -> list[NodeId]:

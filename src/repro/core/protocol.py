@@ -214,6 +214,12 @@ class HostingSystem:
             for service in services:
                 service.liveness_probe = self._make_liveness_probe(service.node)
 
+        #: Optional :class:`~repro.consistency.plane.ConsistencyPlane`;
+        #: installed by the scenario runner (or tests) before start().
+        self.consistency_plane = None
+        #: Observers fired on host crash/recovery: ``(node, crashed, now)``
+        #: with ``crashed`` True on crash, False on recovery.
+        self.crash_observers: list[Callable[[NodeId, bool, Time], None]] = []
         self.placement_events: list[PlacementEvent] = []
         self.request_observers: list[RequestObserver] = []
         self.measurement_observers: list[MeasurementObserver] = []
@@ -298,6 +304,8 @@ class HostingSystem:
             self.failure_detector.start()
         if self.repair_daemon is not None:
             self.repair_daemon.start()
+        if self.consistency_plane is not None:
+            self.consistency_plane.start()
         config = self.config
         n = self.routes.num_nodes
         for node, host in self.hosts.items():
@@ -337,6 +345,8 @@ class HostingSystem:
             self.failure_detector.stop()
         if self.repair_daemon is not None:
             self.repair_daemon.stop()
+        if self.consistency_plane is not None:
+            self.consistency_plane.stop()
 
     def _make_measurement_tick(self, host: HostServer) -> Callable[[Time], None]:
         def tick(now: Time) -> None:

@@ -148,6 +148,10 @@ class HeartbeatMonitor:
             service.set_host_available(node, True)
         if system.repair_daemon is not None:
             system.repair_daemon.on_host_up(node, now)
+        if system.consistency_plane is not None:
+            # Reachable again (crash recovery or partition heal): clear
+            # repair suppressions and reconcile the host immediately.
+            system.consistency_plane.on_host_marked_up(node, now)
         if system.tracer is not None:
             system.tracer.record(
                 FailureDetectRecord(node=node, down=False, reason="recovery")

@@ -58,6 +58,8 @@ class FailureInjector:
             for service in self._system.redirectors.services:
                 service.set_host_available(node, False)
         self.events.append(FailureEvent(self._sim.now, node, True))
+        for observer in self._system.crash_observers:
+            observer(node, True, self._sim.now)
 
     def recover(self, node: NodeId) -> None:
         """Bring a failed host back, cold."""
@@ -75,6 +77,8 @@ class FailureInjector:
             for service in self._system.redirectors.services:
                 service.set_host_available(node, True)
         self.events.append(FailureEvent(self._sim.now, node, False))
+        for observer in self._system.crash_observers:
+            observer(node, False, self._sim.now)
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -1,0 +1,192 @@
+"""Staleness and divergence metrics for the consistency plane.
+
+The missing metrics axis ROADMAP item 3 names: when the network
+misbehaves, how stale do replicas get, and for how long?  Two pieces:
+
+* :class:`StalenessTracker` — live bookkeeping owned by the
+  :class:`~repro.consistency.plane.ConsistencyPlane`.  The primary-copy
+  manager reports every version change; the tracker maintains the
+  current stale-replica set per object and turns transitions into
+  *divergence windows* (first replica diverges → window opens; last
+  replica converges → window closes).  Served requests are checked
+  against the stale set to count stale reads.
+
+* :func:`staleness_metrics` — a flat scalar summary merged into
+  ``scenario_metrics`` for runs with an active consistency plane,
+  mirroring how :func:`repro.metrics.availability.fault_metrics` gates
+  on the fault plane.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.types import NodeId, ObjectId, Time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.protocol import HostingSystem
+
+
+class StalenessTracker:
+    """Tracks stale replica sets, divergence windows, and stale reads."""
+
+    __slots__ = (
+        "_stale_hosts",
+        "_window_open_at",
+        "windows_opened",
+        "windows_closed",
+        "divergence_seconds",
+        "max_window_seconds",
+        "reads",
+        "stale_reads",
+        "last_stale_read_at",
+        "last_window_closed_at",
+    )
+
+    def __init__(self) -> None:
+        #: Currently stale replicas per object (absent == none stale).
+        self._stale_hosts: dict[ObjectId, set[NodeId]] = {}
+        #: Open-window start times per object.
+        self._window_open_at: dict[ObjectId, Time] = {}
+        self.windows_opened = 0
+        self.windows_closed = 0
+        #: Total closed-window divergence time.
+        self.divergence_seconds = 0.0
+        #: Longest closed window.
+        self.max_window_seconds = 0.0
+        self.reads = 0
+        self.stale_reads = 0
+        self.last_stale_read_at: Time | None = None
+        self.last_window_closed_at: Time | None = None
+
+    # ------------------------------------------------------------------
+    # Updates from the consistency plane
+    # ------------------------------------------------------------------
+
+    def set_stale_set(
+        self, obj: ObjectId, hosts: Iterable[NodeId], now: Time
+    ) -> None:
+        """Replace ``obj``'s stale-replica set, tracking window edges."""
+        stale = set(hosts)
+        had = bool(self._stale_hosts.get(obj))
+        if stale:
+            self._stale_hosts[obj] = stale
+            if not had:
+                self._window_open_at[obj] = now
+                self.windows_opened += 1
+        else:
+            self._stale_hosts.pop(obj, None)
+            if had:
+                opened = self._window_open_at.pop(obj)
+                window = now - opened
+                self.divergence_seconds += window
+                if window > self.max_window_seconds:
+                    self.max_window_seconds = window
+                self.windows_closed += 1
+                self.last_window_closed_at = now
+
+    def note_read(self, obj: ObjectId, host: NodeId, now: Time) -> bool:
+        """Record a served request; returns whether it was stale."""
+        self.reads += 1
+        if host in self._stale_hosts.get(obj, ()):
+            self.stale_reads += 1
+            self.last_stale_read_at = now
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def is_stale(self, obj: ObjectId, host: NodeId) -> bool:
+        return host in self._stale_hosts.get(obj, ())
+
+    def window_age(self, obj: ObjectId, now: Time) -> Time:
+        """Age of ``obj``'s open divergence window (0 if none open)."""
+        opened = self._window_open_at.get(obj)
+        return 0.0 if opened is None else now - opened
+
+    def open_windows(self) -> int:
+        return len(self._window_open_at)
+
+    def open_divergence_seconds(self, until: Time) -> float:
+        """Accumulated time of still-open windows, measured at ``until``."""
+        return sum(until - opened for opened in self._window_open_at.values())
+
+    def max_window(self, until: Time) -> float:
+        """Longest window, counting open windows at their current age."""
+        longest = self.max_window_seconds
+        for opened in self._window_open_at.values():
+            age = until - opened
+            if age > longest:
+                longest = age
+        return longest
+
+    def stale_read_fraction(self) -> float:
+        return self.stale_reads / self.reads if self.reads else 0.0
+
+
+def staleness_metrics(system: HostingSystem, until: Time) -> dict[str, float]:
+    """Flat scalar summary of the consistency plane's run.
+
+    Raises :class:`ValueError` when the system has no consistency plane
+    (mirrors :func:`repro.metrics.availability.fault_metrics`).
+    """
+    plane = system.consistency_plane
+    if plane is None:
+        raise ValueError("system has no consistency plane")
+    tracker = plane.tracker
+    manager = plane.manager
+    metrics: dict[str, float] = {
+        "writes_applied": float(manager.updates_applied),
+        "updates_propagated": float(manager.updates_propagated),
+        "update_push_failures": float(manager.update_push_failures),
+        "reads_observed": float(tracker.reads),
+        "stale_reads": float(tracker.stale_reads),
+        "stale_read_fraction": tracker.stale_read_fraction(),
+        "divergence_windows_opened": float(tracker.windows_opened),
+        "divergence_windows_closed": float(tracker.windows_closed),
+        "divergence_windows_open": float(tracker.open_windows()),
+        "divergence_seconds": tracker.divergence_seconds
+        + tracker.open_divergence_seconds(until),
+        "divergence_window_max_seconds": tracker.max_window(until),
+        "last_stale_read_at": (
+            -1.0
+            if tracker.last_stale_read_at is None
+            else float(tracker.last_stale_read_at)
+        ),
+        "last_window_closed_at": (
+            -1.0
+            if tracker.last_window_closed_at is None
+            else float(tracker.last_window_closed_at)
+        ),
+        "read_repair_attempts": float(plane.read_repair_attempts),
+        "read_repairs": float(plane.read_repairs),
+    }
+    if plane.batcher is not None:
+        metrics["epidemic_flushes"] = float(plane.batcher.flushes)
+        metrics["epidemic_pending_lost"] = float(plane.epidemic_pending_lost)
+    if plane.antientropy is not None:
+        daemon = plane.antientropy
+        metrics["anti_entropy_rounds"] = float(daemon.rounds)
+        metrics["anti_entropy_digest_exchanges"] = float(daemon.digest_exchanges)
+        metrics["anti_entropy_digest_failures"] = float(daemon.digest_failures)
+        metrics["anti_entropy_repushes"] = float(daemon.repushes)
+        metrics["anti_entropy_bytes"] = float(
+            daemon.digest_bytes + daemon.repush_bytes
+        )
+        update_bytes = daemon.repush_bytes + manager.updates_propagated * float(
+            system.object_size
+        )
+        metrics["anti_entropy_overhead_fraction"] = (
+            daemon.digest_bytes / (daemon.digest_bytes + update_bytes)
+            if daemon.digest_bytes
+            else 0.0
+        )
+    if plane.has_category2:
+        metrics["category2_served"] = float(plane.category2_served)
+        metrics["category2_merges"] = float(plane.category2_merges)
+        metrics["category2_counts_lost"] = float(plane.category2_counts_lost)
+        metrics["category2_reaggregations"] = float(plane.category2_reaggregations)
+        metrics["category2_merged_total"] = float(plane.category2_merged_total())
+    return metrics

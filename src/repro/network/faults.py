@@ -91,6 +91,12 @@ class FaultConfig:
     outages:
         Explicit ``(node, at, duration)`` host-outage schedule, applied
         in addition to the random schedule.
+    partitions:
+        Explicit ``(nodes, at, duration)`` network-partition schedule:
+        each entry splits ``nodes`` away from the rest of the backbone
+        at ``at`` for ``duration`` seconds.  Partition drops are
+        deterministic (no RNG draw), so partition-only scenarios have
+        seed-stable fault histories.
     """
 
     enabled: bool = False
@@ -115,6 +121,7 @@ class FaultConfig:
     mtbf: float | None = None
     mttr: float | None = None
     outages: tuple[tuple[int, float, float], ...] = ()
+    partitions: tuple[tuple[tuple[int, ...], float, float], ...] = ()
 
     def __post_init__(self) -> None:
         for name in (
@@ -168,6 +175,19 @@ class FaultConfig:
                 raise ConfigurationError(
                     f"bad outage ({node}, {at}, {duration}): need at >= 0 "
                     "and a positive duration"
+                )
+        partitions = tuple(
+            (tuple(sorted(int(node) for node in nodes)), float(at), float(duration))
+            for nodes, at, duration in self.partitions
+        )
+        object.__setattr__(self, "partitions", partitions)
+        for nodes, at, duration in self.partitions:
+            if not nodes:
+                raise ConfigurationError("a partition needs at least one node")
+            if at < 0 or duration <= 0:
+                raise ConfigurationError(
+                    f"bad partition ({nodes}, {at}, {duration}): need "
+                    "at >= 0 and a positive duration"
                 )
 
     def drop_for(self, message_class: MessageClass) -> float:

@@ -36,6 +36,11 @@ Reliability grades
     full payload and every round's bytes are charged (RELOCATION class).
 ``oneway``
     Best-effort datagram (load reports, heartbeats): fire and forget.
+``update_push``
+    Category-1 update propagation (primary → replica): UPDATE payload
+    plus CONTROL ack, bounded retries, receiver-side dedup so the update
+    applies exactly once.  Best-effort within the budget — a failed push
+    leaves the replica stale for anti-entropy or read-repair to catch up.
 
 With no fault plane attached every operation degenerates to exactly the
 ``Network.account`` calls the protocol made before this layer existed —
@@ -73,13 +78,17 @@ class DedupCache:
     far below the default.
     """
 
-    __slots__ = ("_capacity", "_entries")
+    __slots__ = ("_capacity", "_entries", "hits", "evictions")
 
     def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:
             raise ValueError("dedup capacity must be at least 1")
         self._capacity = capacity
         self._entries: OrderedDict[str, Any] = OrderedDict()
+        #: Lookups that found a cached reply (duplicates recognised).
+        self.hits = 0
+        #: Entries discarded to keep the ledger within capacity.
+        self.evictions = 0
 
     def get(self, msg_id: str) -> Any | None:
         """The cached reply for ``msg_id``, or ``None`` if unseen."""
@@ -87,6 +96,7 @@ class DedupCache:
             self._entries.move_to_end(msg_id)
         except KeyError:
             return None
+        self.hits += 1
         return self._entries[msg_id]
 
     def put(self, msg_id: str, reply: Any) -> None:
@@ -95,6 +105,7 @@ class DedupCache:
         self._entries.move_to_end(msg_id)
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -151,6 +162,18 @@ class RpcLayer:
         self.notify_retransmits = 0
         #: Retransmitted bulk-transfer rounds.
         self.bulk_retransmits = 0
+        #: Update pushes issued (fault plane active only).
+        self.update_pushes = 0
+        #: Extra update-push transmissions beyond each push's first.
+        self.update_retransmits = 0
+        #: Pushes whose update never applied within the retry budget.
+        self.update_push_failures = 0
+        #: Retransmitted pushes recognised at the receiver (re-acked
+        #: without re-applying the update).
+        self.update_push_duplicates = 0
+        #: Receiver-side idempotent-receive ledger for update pushes.
+        self.dedup = DedupCache()
+        self._update_seq = 0
 
     @property
     def plane(self) -> FaultPlane | None:
@@ -230,6 +253,65 @@ class RpcLayer:
         return RpcOutcome(
             executed=executed, acked=acked, attempts=attempts, latency=latency
         )
+
+    def update_push(
+        self,
+        source: NodeId,
+        target: NodeId,
+        size: int,
+        *,
+        ack_bytes: int,
+        target_alive: bool = True,
+    ) -> bool:
+        """Push one object update to a replica; returns whether it applied.
+
+        The category-1 propagation channel (primary → replica): the full
+        update payload travels as UPDATE traffic and a small ack returns
+        as CONTROL.  Retries follow the standard envelope; a
+        retransmitted push is recognised at the receiver through the
+        dedup ledger, so the update applies exactly once and duplicates
+        merely re-ack.  Unlike ``notify``/``bulk`` the channel is
+        best-effort within the retry budget — a push that keeps losing
+        (partition, crashed target) reports ``False`` and the replica
+        stays stale until anti-entropy or read-repair catches it up.
+
+        With no fault plane the push degenerates to the single
+        ``Network.account`` UPDATE charge the primary-copy manager made
+        before this channel existed, and always applies.
+        """
+        network = self._network
+        plane = self._plane
+        if plane is None:
+            network.account(source, target, size, MessageClass.UPDATE)
+            return True
+        self.update_pushes += 1
+        config = plane.config
+        self._update_seq += 1
+        msg_id = f"u{self._update_seq}"
+        applied = False
+        attempts = 0
+        while attempts < config.rpc_max_attempts:
+            attempts += 1
+            if attempts > 1:
+                self.update_retransmits += 1
+            _, _, delivered = network.transmit(
+                source, target, size, MessageClass.UPDATE
+            )
+            if delivered and target_alive:
+                if self.dedup.get(msg_id) is None:
+                    self.dedup.put(msg_id, True)
+                    applied = True
+                else:
+                    self.update_push_duplicates += 1
+                _, _, returned = network.transmit(
+                    target, source, ack_bytes, MessageClass.CONTROL
+                )
+                if returned:
+                    return True
+            # Lost payload, dead target or lost ack: retry after timeout.
+        if not applied:
+            self.update_push_failures += 1
+        return applied
 
     # ------------------------------------------------------------------
     # One-way variants
@@ -342,4 +424,11 @@ class RpcLayer:
             "oneway_dropped": float(self.oneway_dropped),
             "notify_retransmits": float(self.notify_retransmits),
             "bulk_retransmits": float(self.bulk_retransmits),
+            "update_pushes": float(self.update_pushes),
+            "update_retransmits": float(self.update_retransmits),
+            "update_push_failures": float(self.update_push_failures),
+            "update_push_duplicates": float(self.update_push_duplicates),
+            "dedup_entries": float(len(self.dedup)),
+            "dedup_hits": float(self.dedup.hits),
+            "dedup_evictions": float(self.dedup.evictions),
         }

@@ -18,12 +18,15 @@ or, end to end, ``python -m repro trace --preset zipf > trace.jsonl``.
 from repro.obs.export import dump_jsonl, load_jsonl, record_as_dict, write_jsonl
 from repro.obs.records import (
     RECORD_KINDS,
+    AntiEntropyRecord,
     ChooseReplicaRecord,
     CreateObjRecord,
     MessageRecord,
     OffloadRecord,
     PlacementRecord,
     SimRunRecord,
+    StaleReadRecord,
+    UpdateRecord,
 )
 from repro.obs.tracer import (
     DEFAULT_CAPACITY,
@@ -42,6 +45,9 @@ __all__ = [
     "OffloadRecord",
     "MessageRecord",
     "SimRunRecord",
+    "UpdateRecord",
+    "StaleReadRecord",
+    "AntiEntropyRecord",
     "ProtocolTracer",
     "DecisionTracer",
     "NullTracer",

@@ -23,6 +23,13 @@ paper's figures reason about:
 * :class:`RepairRecord` — one repair-daemon re-replication of an object
   whose last live copy sat on a crashed host, with its unavailability
   window.
+* :class:`UpdateRecord` — one provider write applied at an object's
+  primary, with the propagation outcome (pushed now vs. queued for an
+  epidemic flush).
+* :class:`StaleReadRecord` — one request served from a replica behind
+  the primary's version, and whether read-repair caught it up.
+* :class:`AntiEntropyRecord` — one pairwise digest exchange that found
+  divergence (or failed outright), with the repush outcome.
 
 Every record carries a ``kind`` tag (class-level, stable — it is the
 JSONL discriminator), a simulated ``time`` stamp and a global ``seq``
@@ -48,6 +55,9 @@ RECORD_KINDS = (
     "rpc",
     "failure-detect",
     "repair",
+    "update",
+    "stale-read",
+    "anti-entropy",
 )
 
 
@@ -239,5 +249,61 @@ class RepairRecord:
     origin: NodeId
     #: Seconds the object had zero live replicas before this repair.
     unavailable_seconds: float
+    time: Time = 0.0
+    seq: int = 0
+
+
+@dataclass(slots=True)
+class UpdateRecord:
+    """One provider write applied at an object's primary."""
+
+    kind: ClassVar[str] = "update"
+
+    obj: ObjectId
+    primary: NodeId
+    #: The primary's version after this write.
+    version: int
+    #: Replicas refreshed by immediate propagation (0 under batching).
+    propagated: int
+    #: Whether the write was queued for an epidemic flush instead.
+    pending: bool = False
+    time: Time = 0.0
+    seq: int = 0
+
+
+@dataclass(slots=True)
+class StaleReadRecord:
+    """One request served from a replica behind the primary's version."""
+
+    kind: ClassVar[str] = "stale-read"
+
+    obj: ObjectId
+    #: The host that served the stale content.
+    server: NodeId
+    #: The version the replica held and the primary's current version.
+    version: int
+    primary_version: int
+    #: Whether read-repair refreshed the replica after this serve.
+    repaired: bool = False
+    time: Time = 0.0
+    seq: int = 0
+
+
+@dataclass(slots=True)
+class AntiEntropyRecord:
+    """One pairwise digest exchange that found divergence or failed."""
+
+    kind: ClassVar[str] = "anti-entropy"
+
+    primary: NodeId
+    replica: NodeId
+    #: Objects summarised in the digest.
+    objects: int
+    #: Objects found behind the primary's version.
+    divergent: int
+    #: Divergent objects successfully re-pushed.
+    repushed: int
+    #: Whether the digest round trip itself succeeded.
+    ok: bool = True
     time: Time = 0.0
     seq: int = 0

@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 
+from repro.consistency.config import ConsistencyConfig
 from repro.core.config import ProtocolConfig
 from repro.errors import ConfigurationError
 from repro.network.faults import FaultConfig
@@ -60,6 +61,11 @@ class ScenarioConfig:
     #: Network fault model (robustness extension).  Disabled by default,
     #: which keeps the run byte-identical to the reliable simulator.
     faults: FaultConfig = field(default_factory=FaultConfig)
+    #: Consistency plane: provider writes, category mix, epidemic
+    #: batching, anti-entropy and read-repair (Sec. 5 under faults).
+    #: Disabled by default, which builds no plane at all and keeps the
+    #: run byte-identical to write-free scenarios.
+    consistency: ConsistencyConfig = field(default_factory=ConsistencyConfig)
     #: Run :meth:`HostingSystem.check_invariants` at the end of the run
     #: (registry-subset and affinity consistency).  Opt-in: the checks
     #: are O(objects x replicas) and belong in tests and debugging runs,

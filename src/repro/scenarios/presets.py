@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import os
 
+from repro.consistency.config import ConsistencyConfig
 from repro.core.config import ProtocolConfig
 from repro.errors import ConfigurationError
+from repro.network.faults import FaultConfig
 from repro.scenarios.config import ScenarioConfig
 from repro.topology.generators import random_geometric_topology
 from repro.topology.graph import Topology
@@ -149,3 +151,123 @@ def large_topology_scenario(
         batched_arrivals=True,
     )
     return config.scaled(scale), topology
+
+
+def partitioned_write_scenario(
+    *,
+    seed: int = 1,
+    scale: float = 0.05,
+    duration: float = 240.0,
+    num_objects: int = 48,
+    write_rate: float = 2.0,
+    partition_nodes: tuple[int, ...] = (0, 1, 2, 3),
+    partition_at: float = 90.0,
+    partition_duration: float = 60.0,
+    anti_entropy_interval: float = 10.0,
+    epidemic_interval: float | None = None,
+) -> ScenarioConfig:
+    """A write-heavy zipf run that partitions hot primaries mid-run.
+
+    The fault-consistency demonstration scenario: a small zipf namespace
+    (hot objects replicate early), a steady provider write stream, and a
+    scheduled partition of the nodes holding the hottest primaries
+    (round-robin initial placement puts object ``i`` on node ``i``; the
+    zipf head is the low ids).  While the partition holds, writes at the
+    isolated primaries cannot reach the majority-side replicas, so
+    divergence windows open and stale reads accumulate; after the heal,
+    heartbeat recovery plus periodic anti-entropy close every window.
+
+    The partition excludes the board/redirector node (node 14 on the
+    seed-1999 UUNET backbone), and no probabilistic faults are enabled:
+    partition drops are deterministic, so the expected-behaviour
+    assertions (:func:`assert_staleness_behaviour`) hold per-seed.
+    """
+    config = paper_parameters()
+    protocol = config.protocol.replace(
+        placement_interval=20.0,
+        measurement_interval=5.0,
+    )
+    faults = FaultConfig(
+        enabled=True,
+        partitions=((tuple(partition_nodes), partition_at, partition_duration),),
+        heartbeat_interval=2.0,
+        repair_interval=5.0,
+    )
+    consistency = ConsistencyConfig(
+        write_rate=write_rate,
+        anti_entropy_interval=anti_entropy_interval,
+        epidemic_interval=epidemic_interval,
+    )
+    config = config.replace(
+        name="partitioned-writes",
+        workload="zipf",
+        seed=seed,
+        duration=duration,
+        num_objects=num_objects,
+        protocol=protocol,
+        faults=faults,
+        consistency=consistency,
+    )
+    return config.scaled(scale)
+
+
+def assert_staleness_behaviour(
+    metrics: dict[str, float],
+    config: ScenarioConfig,
+    *,
+    k: int = 3,
+) -> None:
+    """Expected-behaviour assertions for a partitioned write scenario.
+
+    The full arc, checked against ``scenario_metrics`` output: writes
+    diverged replicas during the partition (stale reads observed,
+    divergence windows opened), the failure detector noticed the
+    partition, every window closed by end of run with no window
+    outliving the partition by more than ``k`` anti-entropy intervals,
+    and stale reads stopped by the same convergence deadline.  Raises
+    :class:`AssertionError` with the offending metric on violation.
+
+    (Steady-state writes with immediate propagation open and close
+    zero-length windows throughout the run, so the convergence bound is
+    on window *length* and on when stale reads stop — not on the
+    timestamp of the last window closure.  Under epidemic batching,
+    reads inside a flush window are stale *by design* for the whole
+    run, so the stale-reads-stop check only applies to immediate
+    propagation and the window bound widens by one flush period.)
+    """
+    if not config.faults.partitions:
+        raise ConfigurationError("scenario has no partition schedule")
+    if config.consistency.anti_entropy_interval is None:
+        raise ConfigurationError("scenario has no anti-entropy daemon")
+    slack = k * config.consistency.anti_entropy_interval
+    heal = max(at + duration for _, at, duration in config.faults.partitions)
+    start = min(at for _, at, duration in config.faults.partitions)
+    deadline = heal + slack
+    assert metrics["stale_reads"] > 0, "expected stale reads during the partition"
+    assert metrics["divergence_windows_opened"] > 0, (
+        "expected divergence windows to open during the partition"
+    )
+    assert metrics.get("failure_detections", 0.0) >= 1, (
+        "expected the heartbeat detector to notice the partition"
+    )
+    assert metrics["divergence_windows_open"] == 0, (
+        f"{metrics['divergence_windows_open']:g} divergence windows still "
+        "open at end of run"
+    )
+    epidemic = config.consistency.epidemic_interval
+    max_window = deadline - start + (epidemic or 0.0)
+    assert metrics["divergence_window_max_seconds"] <= max_window, (
+        f"a divergence window lasted "
+        f"{metrics['divergence_window_max_seconds']:g}s — longer than the "
+        f"{max_window:g}s bound (partition span + {k} anti-entropy intervals)"
+    )
+    if epidemic is None:
+        assert metrics["last_stale_read_at"] <= deadline, (
+            f"stale read at {metrics['last_stale_read_at']:g}s, after the "
+            f"convergence deadline {deadline:g}s (heal at {heal:g}s + "
+            f"{k} anti-entropy intervals)"
+        )
+    assert metrics["stale_read_fraction"] < 0.5, (
+        f"stale-read fraction {metrics['stale_read_fraction']:.3f} out of "
+        "bounds — staleness should be a partition-window phenomenon"
+    )

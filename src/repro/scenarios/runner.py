@@ -14,6 +14,7 @@ from typing import Callable
 
 from repro.baselines.closest import ClosestReplicaRedirector
 from repro.baselines.round_robin import RoundRobinRedirector
+from repro.consistency.plane import ConsistencyPlane
 from repro.core.protocol import HostingSystem
 from repro.core.redirector import RedirectorService
 from repro.errors import ConfigurationError
@@ -24,6 +25,7 @@ from repro.metrics.bandwidth import BandwidthCollector
 from repro.metrics.latency import LatencyCollector
 from repro.metrics.loadstats import LoadCollector
 from repro.metrics.replicas import ReplicaCollector
+from repro.metrics.staleness import staleness_metrics
 from repro.network.faults import FaultPlane
 from repro.network.transport import Network
 from repro.obs.tracer import DecisionTracer
@@ -35,6 +37,7 @@ from repro.sim.rng import RngFactory
 from repro.topology.graph import Topology
 from repro.topology.uunet import uunet_backbone
 from repro.workloads.base import UniformWorkload, Workload, attach_generators
+from repro.workloads.writes import ProviderWriteGenerator
 from repro.workloads.hot_pages import HotPagesWorkload
 from repro.workloads.hot_sites import HotSitesWorkload
 from repro.workloads.regional import RegionalWorkload
@@ -118,6 +121,8 @@ def build_system(
         fault_plane = FaultPlane(
             config.faults, RngFactory(config.seed).stream("faults")
         )
+        for nodes, at, duration in config.faults.partitions:
+            fault_plane.schedule_partition(sim, nodes, at, duration)
     system = HostingSystem(
         sim,
         network,
@@ -133,6 +138,14 @@ def build_system(
         tracer = DecisionTracer(capacity=config.trace_capacity)
     if tracer is not None:
         system.attach_tracer(tracer)
+    if config.consistency.enabled:
+        # Before initialize_round_robin(), so the primary-copy manager
+        # observes the initial registrations (original copy = primary).
+        system.consistency_plane = ConsistencyPlane(
+            system,
+            config.consistency,
+            rng=RngFactory(config.seed).stream("consistency"),
+        )
     system.initialize_round_robin()
     rng_factory = RngFactory(config.seed)
     workload = make_workload(config, topology, rng_factory)
@@ -313,6 +326,10 @@ def scenario_metrics(result: ScenarioResult) -> dict[str, float]:
             metrics["host_failures"] = float(
                 sum(1 for e in result.injector.events if e.failed)
             )
+    if result.system.consistency_plane is not None:
+        # Staleness scalars only exist on consistency-enabled runs, so
+        # write-free metric dicts (and their baselines) are unchanged.
+        metrics.update(staleness_metrics(result.system, result.config.duration))
     return metrics
 
 
@@ -363,9 +380,21 @@ def run_scenario(
         batched=config.batched_arrivals,
         window=config.protocol.measurement_interval,
     )
+    writer: ProviderWriteGenerator | None = None
+    if system.consistency_plane is not None and config.consistency.write_rate > 0:
+        writer = ProviderWriteGenerator(
+            sim,
+            system.consistency_plane,
+            workload,
+            config.consistency.write_rate,
+            RngFactory(config.seed).stream("writes"),
+            poisson=config.poisson,
+        )
     sim.run(until=config.duration)
     for generator in generators:
         generator.stop()
+    if writer is not None:
+        writer.stop()
     system.stop()
     replicas.stop()
     loads.finalize()

@@ -22,6 +22,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
+from repro.consistency.config import ConsistencyConfig
 from repro.errors import ConfigurationError
 from repro.scenarios.config import ScenarioConfig
 from repro.sim.rng import derive_seed
@@ -175,12 +176,21 @@ class SweepSpec:
         event set is generated and ordered internally, not what it
         simulates) are excluded: they assert about or accelerate a run
         without changing its results, and including them would invalidate
-        committed baselines whose runs are identical.
+        committed baselines whose runs are identical.  Similarly, a
+        consistency block at its all-off defaults and an empty partition
+        schedule describe exactly the runs that existed before those
+        fields did, so both are dropped at their defaults to keep
+        pre-existing hashes (and their baselines) valid.
         """
         base = dataclasses.asdict(self.base)
         base.pop("check_invariants", None)
         base.pop("batched_arrivals", None)
         base.pop("queue_bucket_width", None)
+        if base.get("consistency") == dataclasses.asdict(ConsistencyConfig()):
+            base.pop("consistency", None)
+        faults = base.get("faults")
+        if faults is not None and not faults.get("partitions"):
+            faults.pop("partitions", None)
         payload = {
             "name": self.name,
             "base": base,

@@ -1,0 +1,93 @@
+"""Provider-write workload: a system-wide stream of content updates.
+
+The read side models clients ("each backbone node generates client
+requests at a constant rate"); this module models the *content
+providers*, who update their objects at some aggregate rate.  One
+generator drives the whole system — writes are per-object events
+applied at the object's primary, so there is no per-gateway structure
+to preserve — and reuses the read workload's object distribution, which
+makes "write-heavy" and "mixed read/write" scenarios a matter of rates:
+hot objects get both the reads and the writes, the worst case for
+divergence.
+
+Every write goes through
+:meth:`~repro.consistency.plane.ConsistencyPlane.provider_write`, so it
+contends with the fault plane exactly like the rest of the control
+traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.errors import WorkloadError
+from repro.sim.engine import Simulator
+from repro.workloads.base import Workload, canonical_object_ids
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.consistency.plane import ConsistencyPlane
+
+
+class ProviderWriteGenerator:
+    """Constant-rate provider updates over a workload's object skew."""
+
+    __slots__ = (
+        "_sim",
+        "_plane",
+        "_workload",
+        "rate",
+        "_rng",
+        "_poisson",
+        "_nodes",
+        "_objects",
+        "_event",
+        "_active",
+        "generated",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        plane: "ConsistencyPlane",
+        workload: Workload,
+        rate: float,
+        rng: random.Random,
+        *,
+        poisson: bool = False,
+    ) -> None:
+        if rate <= 0:
+            raise WorkloadError(f"write rate must be positive, got {rate}")
+        self._sim = sim
+        self._plane = plane
+        self._workload = workload
+        self.rate = rate
+        self._rng = rng
+        self._poisson = poisson
+        # Gateway-conditioned workloads (regional/hot-site skews) need an
+        # origin; providers publish from anywhere, so draw one per write.
+        self._nodes = list(plane.system.routes.topology.nodes)
+        self._objects = canonical_object_ids(workload.num_objects)
+        self._active = True
+        self.generated = 0
+        # Random phase, like the read generators.
+        first = rng.random() / rate
+        self._event = sim.schedule_after(first, self._fire)
+
+    def _fire(self) -> None:
+        if not self._active:  # pragma: no cover - stop() cancels the event
+            return
+        delay = (
+            self._rng.expovariate(self.rate) if self._poisson else 1.0 / self.rate
+        )
+        self._event = self._sim.schedule_after(delay, self._fire)
+        origin = self._nodes[self._rng.randrange(len(self._nodes))]
+        obj = self._objects[self._workload.sample(origin, self._rng)]
+        self._plane.provider_write(obj)
+        self.generated += 1
+
+    def stop(self) -> None:
+        """Stop generating writes.  Idempotent."""
+        if self._active:
+            self._active = False
+            self._event.cancel()

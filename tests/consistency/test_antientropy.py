@@ -1,0 +1,184 @@
+"""Tests for the anti-entropy digest/repair daemon.
+
+Includes the repair-daemon interaction cases: a stable-store restore is
+already current, so a following anti-entropy pass must neither push the
+update a second time nor resurrect a replica the registry dropped.
+"""
+
+import random
+
+import pytest
+
+from repro.consistency.antientropy import AntiEntropyDaemon
+from repro.consistency.config import ConsistencyConfig
+from repro.consistency.plane import ConsistencyPlane
+from repro.errors import ConsistencyError
+from repro.failures.injector import FailureInjector
+from repro.network.faults import FaultConfig, FaultPlane
+from repro.sim.engine import Simulator
+from repro.topology.generators import line_topology
+from tests.conftest import make_system
+
+#: Reliable links, no detector/repair: anti-entropy alone under crashes.
+QUIET_FAULTS = FaultConfig(enabled=True, detection=False, repair=False)
+
+
+def build(consistency, faults=QUIET_FAULTS, num_objects=8, seed=17):
+    sim = Simulator()
+    plane = FaultPlane(faults, random.Random(seed))
+    system = make_system(
+        sim, line_topology(4), num_objects=num_objects, fault_plane=plane
+    )
+    # The plane must exist before initial placement so the manager sees
+    # the first registrations (mirrors the scenario runner's ordering).
+    cplane = ConsistencyPlane(system, consistency, rng=random.Random(1))
+    system.consistency_plane = cplane
+    system.initialize_round_robin()
+    return sim, system, cplane
+
+
+def add_replica(system, obj, host):
+    system.hosts[host].store.add(obj)
+    system.redirectors.for_object(obj).replica_created(obj, host, 1)
+
+
+def test_quiescent_system_exchanges_no_digests():
+    sim, system, cplane = build(ConsistencyConfig(anti_entropy_interval=10.0))
+    add_replica(system, 0, 2)
+    system.start()
+    sim.run(until=35.0)
+    daemon = cplane.antientropy
+    assert daemon.rounds == 3
+    # No object was ever written: nothing can diverge, nothing to digest.
+    assert daemon.digest_exchanges == 0
+    assert daemon.digest_bytes == 0
+    system.stop()
+
+
+def test_periodic_round_repairs_divergence_after_crash():
+    sim, system, cplane = build(ConsistencyConfig(anti_entropy_interval=10.0))
+    add_replica(system, 0, 2)
+    system.start()
+    injector = FailureInjector(sim, system)
+    injector.fail(2)
+    manager = cplane.manager
+    cplane.provider_write(0)  # immediate push fails: target down
+    assert manager.update_push_failures == 1
+    assert manager.stale_replicas(0) == [2]
+    sim.run(until=11.0)
+    daemon = cplane.antientropy
+    assert daemon.rounds == 1
+    # The digest round trip itself failed against the dead replica.
+    assert daemon.digest_exchanges == 1
+    assert daemon.digest_failures == 1
+    assert manager.stale_replicas(0) == [2]
+    injector.recover(2)
+    sim.run(until=21.0)
+    assert manager.stale_replicas(0) == []
+    assert daemon.repushes == 1
+    assert daemon.repush_bytes == system.object_size
+    assert manager.version(0, 2) == manager.primary_version(0)
+    system.stop()
+
+
+def test_crashed_primary_pairs_wait_for_recovery():
+    sim, system, cplane = build(ConsistencyConfig(anti_entropy_interval=10.0))
+    add_replica(system, 0, 2)
+    system.start()
+    cplane.provider_write(0)
+    injector = FailureInjector(sim, system)
+    injector.fail(0)  # the primary
+    cplane.provider_write(1)  # another write, unrelated primary (host 1)
+    sim.run(until=11.0)
+    daemon = cplane.antientropy
+    # Pairs whose primary is down are skipped entirely — no digest is
+    # even attempted (a crashed primary cannot answer).
+    assert daemon.digest_exchanges == 0
+    system.stop()
+
+
+def test_sync_host_reconciles_immediately_on_mark_up():
+    sim, system, cplane = build(ConsistencyConfig(anti_entropy_interval=500.0))
+    add_replica(system, 0, 2)
+    system.start()
+    injector = FailureInjector(sim, system)
+    injector.fail(2)
+    cplane.provider_write(0)
+    injector.recover(2)
+    manager = cplane.manager
+    assert manager.stale_replicas(0) == [2]
+    # The detector's mark-up hook: targeted sync, no periodic wait.
+    cplane.on_host_marked_up(2, sim.now)
+    assert cplane.antientropy.cold_syncs == 1
+    assert manager.stale_replicas(0) == []
+    system.stop()
+
+
+def test_repair_restored_replica_is_not_double_propagated():
+    """Last-copy re-replication then anti-entropy: the stable-store
+    restore already carries current content, so anti-entropy must not
+    push the update again."""
+    faults = FaultConfig(
+        enabled=True,
+        heartbeat_interval=5.0,
+        heartbeat_miss_threshold=2,
+        repair_interval=10.0,
+    )
+    sim, system, cplane = build(
+        ConsistencyConfig(anti_entropy_interval=7.0), faults=faults
+    )
+    system.start()
+    manager = cplane.manager
+    # Objects 2 and 6 live only on host 2; write object 2 a few times.
+    for _ in range(3):
+        cplane.provider_write(2)
+    assert manager.primary_version(2) == 3
+    assert manager.updates_propagated == 0  # no replicas yet
+    injector = FailureInjector(sim, system)
+    injector.schedule_outage(2, at=7.0, duration=500.0)
+    sim.run(until=60.0)
+    assert system.repair_daemon.repairs == 2
+    service = system.redirectors.for_object(2)
+    restored = [h for h in service.replica_hosts(2) if h != 2]
+    assert len(restored) == 1
+    # The restored copy is current, so it never counts as divergent:
+    # anti-entropy ran repeatedly but re-pushed nothing.
+    assert manager.version(2, restored[0]) == 3
+    assert cplane.antientropy.rounds >= 5
+    assert cplane.antientropy.repushes == 0
+    assert manager.updates_propagated == 0
+    assert manager.stale_replicas(2) == []
+    system.stop()
+
+
+def test_dropped_replica_is_not_resurrected():
+    sim, system, cplane = build(ConsistencyConfig(anti_entropy_interval=10.0))
+    add_replica(system, 0, 2)
+    system.start()
+    cplane.provider_write(0)
+    manager = cplane.manager
+    assert manager.version(0, 2) == 1
+    service = system.redirectors.for_object(0)
+    assert service.request_drop(0, 2)
+    assert manager.version_or_default(0, 2) == 0
+    sim.run(until=35.0)
+    # The registry is the anti-entropy working set: the dropped replica
+    # got no digests, no pushes, and was not re-registered.
+    assert 2 not in service.replica_hosts(0)
+    assert manager.version_or_default(0, 2) == 0
+    assert cplane.antientropy.repushes == 0
+    system.stop()
+
+
+def test_lifecycle_validation():
+    sim, system, cplane = build(ConsistencyConfig(anti_entropy_interval=10.0))
+    with pytest.raises(ConsistencyError):
+        AntiEntropyDaemon(system, interval=0.0)
+    daemon = AntiEntropyDaemon(system, interval=5.0)
+    daemon.start()
+    with pytest.raises(ConsistencyError):
+        daemon.start()
+    daemon.stop()
+    daemon.stop()  # idempotent
+    daemon.start()  # restartable after stop
+    daemon.stop()

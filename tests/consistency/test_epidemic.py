@@ -60,10 +60,64 @@ def test_stop_halts_flushing(setup):
     sim, system, manager = setup
     batcher = EpidemicBatcher(sim, manager, period=60.0)
     batcher.stop()
+    assert batcher.stopped
+    sim.run(until=200.0)
+    assert batcher.flushes == 0
+
+
+def test_stop_flushes_pending(setup):
+    """A clean shutdown does not silently drop queued updates."""
+    sim, system, manager = setup
+    batcher = EpidemicBatcher(sim, manager, period=60.0)
     manager.apply_update(0)
     batcher.mark_dirty(0)
-    sim.run(until=200.0)
     assert manager.stale_replicas(0) == [2]
+    batcher.stop()
+    assert manager.stale_replicas(0) == []
+    assert batcher.pending == 0
+
+
+def test_mark_dirty_after_stop_raises(setup):
+    sim, system, manager = setup
+    batcher = EpidemicBatcher(sim, manager, period=60.0)
+    batcher.stop()
+    manager.apply_update(0)
+    with pytest.raises(ConsistencyError):
+        batcher.mark_dirty(0)
+
+
+def test_double_stop_is_idempotent(setup):
+    sim, system, manager = setup
+    batcher = EpidemicBatcher(sim, manager, period=60.0)
+    manager.apply_update(0)
+    batcher.mark_dirty(0)
+    batcher.stop()
+    flushes = batcher.flushes
+    batcher.stop()  # No error, no extra flush.
+    assert batcher.flushes == flushes
+
+
+def test_flush_now_after_stop_is_noop(setup):
+    sim, system, manager = setup
+    batcher = EpidemicBatcher(sim, manager, period=60.0)
+    batcher.stop()
+    flushes = batcher.flushes
+    batcher.flush_now()
+    assert batcher.flushes == flushes
+
+
+def test_drop_host_loses_queued_propagation(setup):
+    """A crashed primary's queued pushes die with it."""
+    sim, system, manager = setup
+    batcher = EpidemicBatcher(sim, manager, period=60.0)
+    manager.apply_update(0)
+    batcher.mark_dirty(0)
+    assert batcher.drop_host(manager.primary(0)) == 1
+    assert batcher.pending == 0
+    sim.run(until=61.0)
+    # The flush round ran but had nothing queued: replica 2 stays stale.
+    assert manager.stale_replicas(0) == [2]
+    assert batcher.drop_host(manager.primary(0)) == 0
 
 
 def test_invalid_period(setup):

@@ -1,0 +1,61 @@
+"""Unit tests for the staleness/divergence tracker."""
+
+from repro.metrics.staleness import StalenessTracker
+
+
+def test_window_opens_and_closes_on_stale_set_edges():
+    tracker = StalenessTracker()
+    tracker.set_stale_set(0, {2, 3}, now=10.0)
+    assert tracker.windows_opened == 1
+    assert tracker.open_windows() == 1
+    assert tracker.is_stale(0, 2)
+    # Shrinking the set without emptying it keeps the window open.
+    tracker.set_stale_set(0, {3}, now=15.0)
+    assert tracker.windows_opened == 1
+    assert tracker.windows_closed == 0
+    tracker.set_stale_set(0, set(), now=25.0)
+    assert tracker.windows_closed == 1
+    assert tracker.open_windows() == 0
+    assert tracker.divergence_seconds == 15.0
+    assert tracker.max_window_seconds == 15.0
+    assert tracker.last_window_closed_at == 25.0
+
+
+def test_zero_length_window_is_counted_but_adds_no_divergence():
+    """Immediate propagation opens and closes a window at one timestamp."""
+    tracker = StalenessTracker()
+    tracker.set_stale_set(0, {1}, now=5.0)
+    tracker.set_stale_set(0, set(), now=5.0)
+    assert tracker.windows_opened == 1
+    assert tracker.windows_closed == 1
+    assert tracker.divergence_seconds == 0.0
+
+
+def test_note_read_counts_stale_and_fresh():
+    tracker = StalenessTracker()
+    tracker.set_stale_set(7, {1}, now=0.0)
+    assert tracker.note_read(7, 1, now=1.0) is True
+    assert tracker.note_read(7, 2, now=2.0) is False
+    assert tracker.note_read(8, 1, now=3.0) is False
+    assert tracker.reads == 3
+    assert tracker.stale_reads == 1
+    assert tracker.last_stale_read_at == 1.0
+    assert tracker.stale_read_fraction() == 1.0 / 3.0
+
+
+def test_open_windows_measured_at_horizon():
+    tracker = StalenessTracker()
+    tracker.set_stale_set(0, {1}, now=10.0)
+    tracker.set_stale_set(1, {2}, now=30.0)
+    assert tracker.window_age(0, now=40.0) == 30.0
+    assert tracker.window_age(9, now=40.0) == 0.0
+    assert tracker.open_divergence_seconds(until=40.0) == 30.0 + 10.0
+    # max_window considers open windows at their current age.
+    assert tracker.max_window(until=40.0) == 30.0
+    tracker.set_stale_set(0, set(), now=15.0)
+    assert tracker.max_window_seconds == 5.0
+    assert tracker.max_window(until=100.0) == 70.0  # obj 1 still open
+
+
+def test_fraction_defined_without_reads():
+    assert StalenessTracker().stale_read_fraction() == 0.0

@@ -33,6 +33,21 @@ def test_config_validation():
         FaultConfig(outages=((0, 1.0, 0.0),))
 
 
+def test_partition_schedule_validation():
+    with pytest.raises(ConfigurationError):
+        FaultConfig(partitions=(((), 10.0, 5.0),))  # empty group
+    with pytest.raises(ConfigurationError):
+        FaultConfig(partitions=(((0, 1), -1.0, 5.0),))
+    with pytest.raises(ConfigurationError):
+        FaultConfig(partitions=(((0, 1), 10.0, 0.0),))
+
+
+def test_partition_schedule_normalised_and_hashable():
+    config = FaultConfig(partitions=(([3, 1, 2], 10.0, 5),))
+    assert config.partitions == (((1, 2, 3), 10.0, 5.0),)
+    hash(config.partitions)  # spec_hash serialisation needs plain tuples
+
+
 def test_drop_for_class_overrides():
     config = FaultConfig(drop_prob=0.1, drop_prob_relocation=0.5)
     assert config.drop_for(MessageClass.CONTROL) == 0.1

@@ -2,9 +2,11 @@
 
 import random
 
+import pytest
+
 from repro.network.faults import FORCED_DELIVERY_CAP, FaultConfig, FaultPlane
 from repro.network.message import MessageClass
-from repro.network.rpc import RpcLayer
+from repro.network.rpc import DedupCache, RpcLayer
 from repro.network.transport import Network
 from repro.routing.routes_db import RoutingDatabase
 from repro.sim.engine import Simulator
@@ -127,6 +129,77 @@ def test_oneway_loss_counted():
     assert rpc.oneway_dropped == 1
 
 
+def test_update_push_without_plane_is_single_update_datagram():
+    """Fault-free update_push is exactly the legacy UPDATE charge."""
+    reference, _ = build()
+    reference.account(0, 2, 500, MessageClass.UPDATE)
+
+    network, rpc = build()
+    assert rpc.update_push(0, 2, 500, ack_bytes=100) is True
+    assert network.total_byte_hops() == reference.total_byte_hops()
+    assert rpc.update_pushes == 0  # counters untouched on the reliable path
+    assert len(rpc.dedup) == 0
+
+
+def test_update_push_reliable_plane_applies_once():
+    _, rpc = build(FaultConfig(enabled=True, drop_prob=0.0))
+    assert rpc.update_push(0, 2, 500, ack_bytes=100) is True
+    assert rpc.update_pushes == 1
+    assert rpc.update_retransmits == 0
+    assert rpc.update_push_duplicates == 0
+
+
+def test_update_push_retransmissions_dedup_at_receiver():
+    """A push whose ack is lost retries; the receiver re-acks without
+    re-applying, so duplicates equal the dedup ledger's hits."""
+    config = FaultConfig(enabled=True, drop_prob=0.4, rpc_max_attempts=8)
+    _, rpc = build(config, seed=11)
+    applied = sum(
+        rpc.update_push(0, 2, 500, ack_bytes=100) for _ in range(100)
+    )
+    assert applied > 0
+    assert rpc.update_retransmits > 0
+    assert rpc.update_push_duplicates > 0
+    assert rpc.update_push_duplicates == rpc.dedup.hits
+
+
+def test_update_push_dead_target_fails_within_budget():
+    _, rpc = build(FaultConfig(enabled=True, drop_prob=0.0, rpc_max_attempts=4))
+    assert rpc.update_push(0, 2, 500, ack_bytes=100, target_alive=False) is False
+    assert rpc.update_push_failures == 1
+    assert rpc.update_retransmits == 3  # every attempt after the first
+
+
+def test_update_push_total_loss_reports_failure():
+    _, rpc = build(FaultConfig(enabled=True, drop_prob=1.0))
+    assert rpc.update_push(0, 2, 500, ack_bytes=100) is False
+    assert rpc.update_push_failures == 1
+    assert rpc.update_push_duplicates == 0
+
+
+def test_dedup_cache_rejects_degenerate_capacity():
+    with pytest.raises(ValueError):
+        DedupCache(capacity=0)
+
+
+def test_dedup_cache_lru_eviction_replays_surviving_replies():
+    """Overflow evicts the least-recently-used entry; survivors still
+    replay their cached replies."""
+    cache = DedupCache(capacity=3)
+    for i in range(3):
+        cache.put(f"m{i}", f"reply-{i}")
+    # Touch m0 so m1 becomes the oldest entry.
+    assert cache.get("m0") == "reply-0"
+    cache.put("m3", "reply-3")
+    assert cache.evictions == 1
+    assert len(cache) == 3
+    assert "m1" not in cache
+    assert cache.get("m1") is None  # evicted: a late duplicate re-executes
+    assert cache.get("m0") == "reply-0"
+    assert cache.get("m3") == "reply-3"
+    assert cache.hits == 3
+
+
 def test_summary_exports_all_counters():
     _, rpc = build(FaultConfig(enabled=True, drop_prob=0.5), seed=2)
     for _ in range(10):
@@ -141,5 +214,12 @@ def test_summary_exports_all_counters():
         "oneway_dropped",
         "notify_retransmits",
         "bulk_retransmits",
+        "update_pushes",
+        "update_retransmits",
+        "update_push_failures",
+        "update_push_duplicates",
+        "dedup_entries",
+        "dedup_hits",
+        "dedup_evictions",
     }
     assert summary["rpc_calls"] == 10.0

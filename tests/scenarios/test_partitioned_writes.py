@@ -1,0 +1,75 @@
+"""End-to-end partition arc: write-heavy run through divergence and back.
+
+The acceptance scenario for the fault-hardened consistency plane: a
+scheduled partition isolates the hot primaries mid-run while provider
+writes continue, divergence windows open and stale reads accumulate,
+the heartbeat detector notices, and after the heal the mark-up sync plus
+periodic anti-entropy close every window within the convergence bound.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.faults import FaultConfig
+from repro.scenarios.presets import (
+    assert_staleness_behaviour,
+    partitioned_write_scenario,
+)
+from repro.scenarios.runner import run_scenario, scenario_metrics
+
+
+def run(config):
+    return scenario_metrics(run_scenario(config))
+
+
+def test_partition_arc_immediate_propagation():
+    config = partitioned_write_scenario()
+    metrics = run(config)
+    assert_staleness_behaviour(metrics, config)
+    # The arc, spelled out: divergence appeared, was observed by real
+    # reads, and was fully reconciled by end of run.
+    assert metrics["writes_applied"] > 0
+    assert metrics["stale_reads"] > 0
+    assert metrics["divergence_windows_opened"] > 0
+    assert metrics["divergence_windows_open"] == 0.0
+    assert metrics["anti_entropy_rounds"] > 0
+    assert metrics["anti_entropy_repushes"] > 0
+    heal = config.faults.partitions[0][1] + config.faults.partitions[0][2]
+    assert metrics["last_stale_read_at"] <= heal + (
+        3 * config.consistency.anti_entropy_interval
+    )
+    # Fault-era propagation failures happened (that is the point).
+    assert metrics["update_push_failures"] > 0
+
+
+def test_partition_arc_epidemic_batching():
+    config = partitioned_write_scenario(seed=7, epidemic_interval=5.0)
+    metrics = run(config)
+    assert_staleness_behaviour(metrics, config)
+    assert metrics["epidemic_flushes"] > 0
+    assert metrics["updates_propagated"] > 0
+    # Batched mode trades latency for staleness: reads inside flush
+    # windows are stale by design, so staleness outlives the partition.
+    assert metrics["stale_reads"] > 0
+    heal = config.faults.partitions[0][1] + config.faults.partitions[0][2]
+    assert metrics["last_stale_read_at"] > heal
+
+
+def test_assertions_require_a_partition_schedule():
+    config = partitioned_write_scenario()
+    bare = config.replace(
+        faults=FaultConfig(
+            enabled=True, heartbeat_interval=2.0, repair_interval=5.0
+        )
+    )
+    with pytest.raises(ConfigurationError):
+        assert_staleness_behaviour({}, bare)
+
+
+def test_assertions_require_anti_entropy():
+    config = partitioned_write_scenario()
+    no_ae = config.replace(
+        consistency=config.consistency.replace(anti_entropy_interval=None)
+    )
+    with pytest.raises(ConfigurationError):
+        assert_staleness_behaviour({}, no_ae)

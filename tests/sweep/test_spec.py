@@ -50,6 +50,25 @@ class TestApplyOverrides:
         with pytest.raises(ConfigurationError):
             apply_overrides(_base(), {"duration": -1.0})
 
+    def test_consistency_knobs_sweepable(self):
+        # The --write-rate / --category-mix experiment axes: dotted keys
+        # into the consistency block, mix in its colon-string form
+        # (sweep --set values split on commas).
+        config = apply_overrides(
+            _base(),
+            {
+                "consistency.write_rate": 2.0,
+                "consistency.category_mix": "0.8:0.1:0.1",
+                "consistency.anti_entropy_interval": 10.0,
+            },
+        )
+        assert config.consistency.write_rate == 2.0
+        assert config.consistency.category_mix == (0.8, 0.1, 0.1)
+        assert config.consistency.anti_entropy_interval == 10.0
+        assert config.consistency.enabled
+        with pytest.raises(ConfigurationError):
+            apply_overrides(_base(), {"consistency.category_mix": "0.5:0.5"})
+
 
 class TestExpansion:
     def test_default_is_single_run_with_base_seed(self):
@@ -130,6 +149,42 @@ class TestSpecHash:
                 _base(duration=100.0), {"node_request_rate": [10.0]}, seeds=(1,)
             ).spec_hash()
         )
+
+    def test_smoke_spec_hash_pinned(self):
+        # The committed baseline's key.  Changing what the smoke sweep
+        # runs (including any config-schema change that leaks into the
+        # hash) invalidates benchmarks/reports/baseline.json — this
+        # regression makes that a deliberate act, not an accident.
+        from repro.sweep.smoke import smoke_spec
+
+        assert smoke_spec().spec_hash() == "9b68684d58cf124f"
+
+    def test_default_consistency_and_empty_partitions_do_not_shift_hash(self):
+        # The consistency block at all-off defaults and an empty
+        # partition schedule describe exactly the runs that existed
+        # before those fields did; both are dropped from the hash.
+        from repro.consistency.config import ConsistencyConfig
+
+        spec = SweepSpec(base=_base())
+        explicit = SweepSpec(
+            base=_base(
+                consistency=ConsistencyConfig(),
+                faults=_base().faults.replace(partitions=()),
+            )
+        )
+        assert spec.spec_hash() == explicit.spec_hash()
+        active = SweepSpec(
+            base=_base(consistency=ConsistencyConfig(write_rate=1.0))
+        )
+        assert active.spec_hash() != spec.spec_hash()
+        partitioned = SweepSpec(
+            base=_base(
+                faults=_base().faults.replace(
+                    enabled=True, partitions=(((0, 1), 10.0, 5.0),)
+                )
+            )
+        )
+        assert partitioned.spec_hash() != spec.spec_hash()
 
 
 class TestDeriveSeed:

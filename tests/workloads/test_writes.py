@@ -1,0 +1,80 @@
+"""Tests for the provider-write workload generator."""
+
+import random
+
+import pytest
+
+from repro.consistency.config import ConsistencyConfig
+from repro.consistency.plane import ConsistencyPlane
+from repro.errors import WorkloadError
+from repro.sim.engine import Simulator
+from repro.topology.generators import line_topology
+from repro.workloads.base import UniformWorkload
+from repro.workloads.writes import ProviderWriteGenerator
+from tests.conftest import make_system
+
+
+def build(num_objects=8):
+    sim = Simulator()
+    system = make_system(sim, line_topology(4), num_objects=num_objects)
+    cplane = ConsistencyPlane(
+        system, ConsistencyConfig(), rng=random.Random(1)
+    )
+    system.consistency_plane = cplane
+    system.initialize_round_robin()
+    return sim, system, cplane
+
+
+def test_constant_rate_write_count_is_exact():
+    sim, system, cplane = build()
+    generator = ProviderWriteGenerator(
+        sim, cplane, UniformWorkload(8), 2.0, random.Random(5)
+    )
+    sim.run(until=10.0)
+    # Random phase in [0, 1/rate), then one write every 1/rate seconds.
+    assert generator.generated == 20
+    assert cplane.writes == 20
+    assert cplane.manager.updates_applied == 20
+
+
+def test_writes_follow_the_object_skew():
+    sim, system, cplane = build()
+    generator = ProviderWriteGenerator(
+        sim, cplane, UniformWorkload(8), 50.0, random.Random(5)
+    )
+    sim.run(until=20.0)
+    written = cplane.manager.written_objects()
+    # At 1000 writes over 8 uniform objects, every object was written.
+    assert written == list(range(8))
+    assert generator.generated == 1000
+
+
+def test_poisson_mode_generates_writes():
+    sim, system, cplane = build()
+    generator = ProviderWriteGenerator(
+        sim, cplane, UniformWorkload(8), 5.0, random.Random(5), poisson=True
+    )
+    sim.run(until=20.0)
+    assert generator.generated > 50  # ~100 expected
+    assert cplane.writes == generator.generated
+
+
+def test_stop_is_idempotent_and_halts_generation():
+    sim, system, cplane = build()
+    generator = ProviderWriteGenerator(
+        sim, cplane, UniformWorkload(8), 2.0, random.Random(5)
+    )
+    sim.run(until=5.0)
+    generated = generator.generated
+    generator.stop()
+    generator.stop()
+    sim.run(until=50.0)
+    assert generator.generated == generated
+
+
+def test_invalid_rate_rejected():
+    sim, system, cplane = build()
+    with pytest.raises(WorkloadError):
+        ProviderWriteGenerator(
+            sim, cplane, UniformWorkload(8), 0.0, random.Random(5)
+        )

@@ -10,20 +10,19 @@ policy strawmen, all on the Zipf workload:
 * dynamic placement + closest-replica distribution,
 * full replication (every object everywhere, Section 4's "trivial
   solution").
+
+Every variant resolves through the ``repro.baselines.STRATEGIES``
+registry, so this bench exercises the same code path as
+``python -m repro run --strategy ...`` and the gap harness.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.baselines.full_replication import replicate_everywhere
-from repro.metrics.bandwidth import BandwidthCollector
-from repro.metrics.latency import LatencyCollector
 from repro.metrics.report import format_table
 from repro.scenarios.presets import paper_scenario
-from repro.scenarios.runner import build_system, run_scenario
-from repro.sim.rng import RngFactory
-from repro.workloads.base import attach_generators
+from repro.scenarios.runner import run_scenario
 
 from benchmarks._util import report
 
@@ -36,70 +35,23 @@ def _scenario(**overrides):
     return config.replace(**overrides) if overrides else config
 
 
-def _run_full_replication():
-    """Pre-provision every object everywhere, then measure (no placement).
-
-    build_system installs round-robin initial placement, so this variant
-    assembles the system manually and calls replicate_everywhere on the
-    pristine stores.
-    """
-    from repro.core.protocol import HostingSystem
-    from repro.network.transport import Network
-    from repro.routing.routes_db import RoutingDatabase
-    from repro.scenarios.runner import make_workload
-    from repro.sim.engine import Simulator
-    from repro.topology.uunet import uunet_backbone
-
-    config = _scenario(dynamic=False)
-    sim = Simulator()
-    routes = RoutingDatabase(uunet_backbone(config.topology_seed))
-    network = Network(sim, routes, track_links=False)
-    system = HostingSystem(
-        sim,
-        network,
-        config.protocol,
-        num_objects=config.num_objects,
-        object_size=config.object_size,
-        capacity=config.capacity,
-        enable_placement=False,
-    )
-    replicate_everywhere(system)
-    bandwidth = BandwidthCollector(network, bucket=config.bucket)
-    latency = LatencyCollector(system, bucket=config.bucket)
-    system.start()
-    workload = make_workload(config, routes.topology, RngFactory(config.seed))
-    generators = attach_generators(
-        sim, system, workload, config.node_request_rate, RngFactory(config.seed)
-    )
-    sim.run(until=config.duration)
-    for generator in generators:
-        generator.stop()
-    return bandwidth, latency
-
-
 @pytest.fixture(scope="module")
 def comparison():
     runs = {}
-    for label, overrides in (
-        ("static", {"dynamic": False}),
-        ("paper dynamic", {}),
-        ("dynamic + round-robin", {"distribution": "round-robin"}),
-        ("dynamic + closest", {"distribution": "closest"}),
+    for label, strategy in (
+        ("static", "static"),
+        ("paper dynamic", "paper"),
+        ("dynamic + round-robin", "round-robin"),
+        ("dynamic + closest", "closest"),
+        ("full replication", "full-replication"),
     ):
-        result = run_scenario(_scenario(**overrides))
+        result = run_scenario(_scenario(strategy=strategy))
         runs[label] = (
             result.bandwidth.payload_series().mean_tail(),
             result.latency.mean_latency_series().mean_tail(),
             result.latency.mean_response_hops_series().mean_tail(),
             result.latency.drop_rate(),
         )
-    bandwidth, latency = _run_full_replication()
-    runs["full replication"] = (
-        bandwidth.payload_series().mean_tail(),
-        latency.mean_latency_series().mean_tail(),
-        latency.mean_response_hops_series().mean_tail(),
-        latency.drop_rate(),
-    )
     return runs
 
 

@@ -63,6 +63,26 @@ Live saturation gate
 
 Regenerate with ``python benchmarks/live_saturation.py --quick --out
 benchmarks/reports/live_baseline.json`` after an intentional change.
+
+Optimality-gap gate
+-------------------
+``--gap`` compares a ``BENCH_optgap.json`` produced by
+``benchmarks/optimality_gap.py`` against the committed
+``benchmarks/reports/optgap_baseline.json``:
+
+* **soundness** — every point's ``gap_ratio`` must be finite and >= 1.0
+  (the oracle is a structural lower bound: a ratio below 1 is a solver
+  bug, never noise), its ``oracle_cost`` positive and some requests
+  serviced;
+* **coverage** — every (topology, load, fault, strategy) point in the
+  baseline must be present;
+* **stability** — each point's ``gap_ratio`` must be within
+  ``--tolerance`` (default ±25%) of the baseline.  Gap runs are seeded
+  and the oracle exact, so genuine drift means protocol behaviour
+  changed (which must come with a regenerated baseline).
+
+Regenerate with ``python benchmarks/optimality_gap.py --quick --out
+benchmarks/reports/optgap_baseline.json`` after an intentional change.
 """
 
 from __future__ import annotations
@@ -76,6 +96,7 @@ from pathlib import Path
 DEFAULT_BASELINE = Path(__file__).parent / "reports" / "baseline.json"
 DEFAULT_ENGINE_BASELINE = Path(__file__).parent / "reports" / "engine_baseline.json"
 DEFAULT_LIVE_BASELINE = Path(__file__).parent / "reports" / "live_baseline.json"
+DEFAULT_GAP_BASELINE = Path(__file__).parent / "reports" / "optgap_baseline.json"
 
 
 def _rel_delta(current: float, reference: float) -> float:
@@ -230,6 +251,65 @@ def compare_live(
     return problems
 
 
+def _gap_point_key(point: dict) -> str:
+    return (
+        f"{point.get('topology')}/load={point.get('load_scale')}"
+        f"/mtbf={point.get('fault_mtbf')}/{point.get('strategy')}"
+    )
+
+
+def compare_gap(
+    current: dict, baseline: dict, *, tolerance: float
+) -> list[str]:
+    """Gate a ``BENCH_optgap.json`` artifact (see module doc)."""
+    problems: list[str] = []
+    if current.get("schema") != baseline.get("schema"):
+        problems.append(
+            f"schema mismatch: current {current.get('schema')!r} vs "
+            f"baseline {baseline.get('schema')!r}"
+        )
+        return problems
+
+    points = {_gap_point_key(p): p for p in current.get("points", [])}
+    if not points:
+        problems.append("current artifact has no gap points")
+        return problems
+
+    for key, point in sorted(points.items()):
+        ratio = point.get("gap_ratio")
+        if ratio is None or not math.isfinite(ratio):
+            problems.append(f"{key}: gap_ratio is {ratio!r} (must be finite)")
+            continue
+        if ratio < 1.0 - 1e-9:
+            problems.append(
+                f"{key}: gap_ratio {ratio:.6f} < 1.0 — the oracle stopped "
+                "being a lower bound (solver bug, not noise)"
+            )
+        if point.get("oracle_cost", 0.0) <= 0.0:
+            problems.append(f"{key}: oracle_cost must be positive")
+        if point.get("requests_serviced", 0) <= 0:
+            problems.append(f"{key}: no requests serviced")
+
+    for base_point in baseline.get("points", []):
+        key = _gap_point_key(base_point)
+        point = points.get(key)
+        if point is None:
+            problems.append(f"point {key!r} missing from current artifact")
+            continue
+        drift = _rel_delta(
+            point.get("gap_ratio", 0.0), base_point.get("gap_ratio", 0.0)
+        )
+        if abs(drift) > tolerance:
+            problems.append(
+                f"{key}: gap_ratio drifted {drift:+.1%} (> {tolerance:.0%}): "
+                f"{point.get('gap_ratio'):.4f} vs baseline "
+                f"{base_point.get('gap_ratio'):.4f} — protocol behaviour "
+                "changed; regenerate benchmarks/reports/optgap_baseline.json "
+                "with rationale"
+            )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="sweep summary JSON to check")
@@ -252,6 +332,12 @@ def main(argv: list[str] | None = None) -> int:
         "a sweep summary",
     )
     parser.add_argument(
+        "--gap",
+        action="store_true",
+        help="compare a BENCH_optgap.json optimality-gap artifact instead "
+        "of a sweep summary",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=0.25,
@@ -265,9 +351,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.engine and args.live:
-        parser.error("--engine and --live are mutually exclusive")
-    if args.live:
+    if sum((args.engine, args.live, args.gap)) > 1:
+        parser.error("--engine, --live and --gap are mutually exclusive")
+    if args.gap:
+        default = DEFAULT_GAP_BASELINE
+    elif args.live:
         default = DEFAULT_LIVE_BASELINE
     elif args.engine:
         default = DEFAULT_ENGINE_BASELINE
@@ -275,7 +363,17 @@ def main(argv: list[str] | None = None) -> int:
         default = DEFAULT_BASELINE
     current = json.loads(Path(args.current).read_text())
     baseline = json.loads(Path(args.baseline or default).read_text())
-    if args.live:
+    if args.gap:
+        problems = compare_gap(current, baseline, tolerance=args.tolerance)
+        for key, point in sorted(
+            (_gap_point_key(p), p) for p in current.get("points", [])
+        ):
+            print(
+                f"{key}: gap {point.get('gap_ratio', float('nan')):.4f} "
+                f"(oracle {point.get('oracle_cost', 0):,.0f}, "
+                f"violations {point.get('capacity_violations', 0)})"
+            )
+    elif args.live:
         problems = compare_live(current, baseline, tolerance=args.tolerance)
         for name, base_result in sorted(baseline.get("results", {}).items()):
             result = current.get("results", {}).get(name, {})

@@ -1,0 +1,96 @@
+"""Emit the ``BENCH_optgap.json`` optimality-gap artifact.
+
+Standalone (no pytest-benchmark): replays one seeded workload through
+the paper protocol and each selected baseline strategy, computes the
+offline-optimal assignment cost for the demand trace every run actually
+served (:mod:`repro.optimal.gap`), and writes one JSON document of gap
+points — ``protocol_cost / oracle_cost``, stale-capacity violations and
+replica counts — across topology x load x fault-rate coordinates.
+
+Every ratio is >= 1 *by construction* (the oracle's problem admits the
+run's own assignment as a feasible solution), so a ratio below 1 in the
+artifact is a solver bug, and the CI gate treats it as one.
+
+Usage::
+
+    python benchmarks/optimality_gap.py --out BENCH_optgap.json --quick
+
+``--quick`` is the CI mode: a small balanced tree plus a 13-node
+backbone slice, two strategies, 3 load levels x 2 fault rates.  The
+committed ``benchmarks/reports/optgap_baseline.json`` is a ``--quick``
+artifact; regenerate it (same flag) after an intentional behaviour
+change and gate with ``python benchmarks/compare_baseline.py --gap
+BENCH_optgap.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.optimal.gap import (  # noqa: E402
+    GapSettings,
+    quick_settings,
+    run_gap_benchmark,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_optgap.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized campaign (small tree + backbone slice, 2 strategies)",
+    )
+    parser.add_argument(
+        "--strategies",
+        default=None,
+        help="comma-separated strategy names (default: campaign's own list)",
+    )
+    args = parser.parse_args(argv)
+
+    settings = quick_settings() if args.quick else GapSettings()
+    if args.strategies:
+        strategies = tuple(s.strip() for s in args.strategies.split(",") if s.strip())
+        settings = dataclasses.replace(settings, strategies=strategies)
+
+    started = time.perf_counter()
+
+    def progress(topology: str, load: float, mtbf, strategy: str) -> None:
+        print(
+            f"[{time.perf_counter() - started:6.1f}s] {topology} "
+            f"load={load:g} mtbf={mtbf} strategy={strategy}",
+            flush=True,
+        )
+
+    payload = run_gap_benchmark(settings, progress=progress)
+    payload["elapsed_seconds"] = time.perf_counter() - started
+
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print(f"\n{len(payload['points'])} gap points -> {out}")
+    worst = max(payload["points"], key=lambda p: p["gap_ratio"])
+    print(
+        f"worst gap: {worst['gap_ratio']:.4f} "
+        f"({worst['topology']}, load={worst['load_scale']:g}, "
+        f"mtbf={worst['fault_mtbf']}, {worst['strategy']})"
+    )
+    bad = [p for p in payload["points"] if p["gap_ratio"] < 1.0 - 1e-9]
+    if bad:
+        print(f"ERROR: {len(bad)} point(s) below 1.0 — oracle is not a lower bound")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

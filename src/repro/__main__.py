@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-One parser, five subcommands:
+One parser, six subcommands:
 
 ``run``
     One paper scenario in the simulator, printing the evaluation
@@ -23,6 +23,16 @@ One parser, five subcommands:
 
         python -m repro sweep --preset zipf --seeds 4 --workers 4
         python -m repro sweep --smoke --json bench_smoke.json   # the CI gate
+
+``gap``
+    The optimality-gap campaign: the same seeded workload replayed
+    through the protocol and each selected baseline strategy, with the
+    offline-optimal assignment cost of every run's own demand trace as
+    the yardstick (``gap_ratio = protocol_cost / oracle_cost >= 1``):
+
+        python -m repro gap --quick --out BENCH_optgap.json
+        python -m repro gap --set gap.load_scale=0.5,1,2 \\
+            --set gap.fault=none,600 --set gap.strategy=paper,static
 
 ``serve``
     The live asyncio serving runtime — the same protocol over real
@@ -69,7 +79,7 @@ from repro.scenarios.presets import WORKLOAD_NAMES, paper_scenario
 from repro.scenarios.runner import run_scenario, scenario_metrics
 from repro.sweep import SweepSpec, default_workers, run_sweep, smoke_spec
 
-COMMANDS = ("run", "trace", "sweep", "serve", "loadgen")
+COMMANDS = ("run", "trace", "sweep", "gap", "serve", "loadgen")
 
 
 # ----------------------------------------------------------------------
@@ -333,6 +343,13 @@ def _populate_run_parser(parser: argparse.ArgumentParser) -> None:
         help="disable dynamic placement (the static baseline)",
     )
     parser.add_argument(
+        "--strategy",
+        default="paper",
+        metavar="NAME",
+        help="placement strategy from the baselines registry "
+        "(default: paper; see repro.baselines.STRATEGIES)",
+    )
+    parser.add_argument(
         "--distribution",
         choices=["paper", "round-robin", "closest"],
         default="paper",
@@ -450,6 +467,34 @@ def _populate_sweep_parser(parser: argparse.ArgumentParser) -> None:
         help=(
             "ignore scenario options and run the canonical CI smoke sweep "
             "(fixed spec shared with benchmarks/reports/baseline.json)"
+        ),
+    )
+
+
+def _populate_gap_parser(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized campaign (small tree + backbone slice, 2 strategies)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_optgap.json",
+        metavar="PATH",
+        help="output JSON artifact ('-' = stdout; default: BENCH_optgap.json)",
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=None,
+        metavar="KEY=V1[,V2,...]",
+        help=(
+            "campaign axis or scalar: gap.topology / gap.load_scale / "
+            "gap.fault / gap.strategy take comma-separated value lists "
+            "(gap.fault accepts 'none' for fault-free); gap.seed / "
+            "gap.workload / gap.duration / gap.objects / gap.rate / "
+            "gap.capacity / gap.top_objects take one value (repeatable)"
         ),
     )
 
@@ -649,6 +694,11 @@ def build_cli() -> argparse.ArgumentParser:
     _populate_sweep_parser(
         sub.add_parser("sweep", help="fan a scenario grid across worker processes")
     )
+    _populate_gap_parser(
+        sub.add_parser(
+            "gap", help="measure the protocol's optimality gap against the oracle"
+        )
+    )
     _populate_serve_parser(
         sub.add_parser("serve", help="run the live serving runtime over real sockets")
     )
@@ -745,6 +795,7 @@ def run_main(args: argparse.Namespace) -> int:
         seed=args.seed,
     ).replace(
         distribution=args.distribution,
+        strategy=args.strategy,
         check_invariants=args.check_invariants,
     )
     faults = _fault_config(args)
@@ -945,6 +996,105 @@ def sweep_main(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# gap
+# ----------------------------------------------------------------------
+
+#: ``--set`` keys that fan out a campaign axis (value lists allowed).
+_GAP_AXES = {
+    "gap.topology": "topologies",
+    "gap.load_scale": "load_scales",
+    "gap.fault": "fault_mtbfs",
+    "gap.strategy": "strategies",
+}
+
+#: ``--set`` keys that replace one scalar campaign setting.
+_GAP_SCALARS = {
+    "gap.seed": "seed",
+    "gap.workload": "workload",
+    "gap.duration": "duration",
+    "gap.objects": "num_objects",
+    "gap.rate": "node_request_rate",
+    "gap.capacity": "capacity",
+    "gap.top_objects": "top_objects",
+}
+
+
+def _gap_settings(args: argparse.Namespace):
+    import dataclasses
+
+    from repro.optimal.gap import GapSettings, quick_settings
+
+    settings = quick_settings() if args.quick else GapSettings()
+    changes: dict[str, object] = {}
+    for key, values in _parse_axes(args.overrides).items():
+        if key in _GAP_AXES:
+            if key == "gap.fault":
+                parsed = tuple(
+                    None if v in ("none", "off", 0) else float(v) for v in values
+                )
+            elif key == "gap.load_scale":
+                parsed = tuple(float(v) for v in values)
+            else:
+                parsed = tuple(str(v) for v in values)
+            changes[_GAP_AXES[key]] = parsed
+        elif key in _GAP_SCALARS:
+            if len(values) != 1:
+                raise SystemExit(f"--set {key} takes exactly one value")
+            changes[_GAP_SCALARS[key]] = values[0]
+        else:
+            known = ", ".join(sorted([*_GAP_AXES, *_GAP_SCALARS]))
+            raise SystemExit(f"unknown --set key {key!r}; known: {known}")
+    if changes:
+        settings = dataclasses.replace(settings, **changes)
+    return settings
+
+
+def gap_main(args: argparse.Namespace) -> int:
+    from repro.optimal.gap import run_gap_benchmark
+
+    settings = _gap_settings(args)
+
+    def progress(topology: str, load: float, mtbf, strategy: str) -> None:
+        print(
+            f"  {topology} load={load:g} mtbf={mtbf} strategy={strategy}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    total = (
+        len(settings.topologies)
+        * len(settings.load_scales)
+        * len(settings.fault_mtbfs)
+        * len(settings.strategies)
+    )
+    print(f"gap campaign: {total} points ...", file=sys.stderr)
+    payload = run_gap_benchmark(settings, progress=progress)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(payload['points'])} gap points to {args.out}")
+    worst = max(payload["points"], key=lambda p: p["gap_ratio"])
+    print(
+        f"worst gap: {worst['gap_ratio']:.4f} ({worst['topology']}, "
+        f"load={worst['load_scale']:g}, mtbf={worst['fault_mtbf']}, "
+        f"{worst['strategy']})",
+        file=sys.stderr,
+    )
+    bad = [p for p in payload["points"] if p["gap_ratio"] < 1.0 - 1e-9]
+    if bad:
+        print(
+            f"ERROR: {len(bad)} point(s) below 1.0 — the oracle is not a "
+            "lower bound",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
 # serve / loadgen (the live runtime)
 # ----------------------------------------------------------------------
 
@@ -1080,6 +1230,7 @@ _COMMAND_MAINS = {
     "run": run_main,
     "trace": trace_main,
     "sweep": sweep_main,
+    "gap": gap_main,
     "serve": serve_main,
     "loadgen": loadgen_main,
 }

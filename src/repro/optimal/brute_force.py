@@ -1,0 +1,45 @@
+"""Exhaustive replica-set enumeration — the DP's golden reference.
+
+Enumerates every subset of nodes, evaluates each under the Closest
+allocation policy (the same :func:`evaluate_tree_placement` the DP's
+reconstruction check uses), and returns the cheapest feasible one.
+Exponential on purpose: its only job is to certify the DP on small
+instances, so it refuses trees large enough to be slow.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.optimal.instance import TreeInstance, evaluate_tree_placement
+from repro.optimal.tree_dp import TreePlacement
+
+#: Enumeration is 2^n; keep the golden reference honest and fast.
+MAX_BRUTE_FORCE_NODES = 18
+
+
+def brute_force_tree_placement(instance: TreeInstance) -> TreePlacement | None:
+    """The optimal placement by exhaustive search, or ``None`` if infeasible."""
+    n = instance.num_nodes
+    if n > MAX_BRUTE_FORCE_NODES:
+        raise ConfigurationError(
+            f"brute force is limited to {MAX_BRUTE_FORCE_NODES} nodes, got {n}"
+        )
+    best_cost = None
+    best = None
+    for mask in range(1 << n):
+        replicas = [v for v in range(n) if mask >> v & 1]
+        evaluation = evaluate_tree_placement(instance, replicas)
+        if not evaluation.feasible:
+            continue
+        if best_cost is None or evaluation.cost < best_cost:
+            best_cost = evaluation.cost
+            best = (tuple(replicas), evaluation)
+    if best is None:
+        return None
+    replicas, evaluation = best
+    return TreePlacement(
+        replicas=replicas,
+        cost=evaluation.cost,
+        loads=evaluation.loads,
+        assignment=evaluation.assignment,
+    )

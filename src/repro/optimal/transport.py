@@ -1,0 +1,166 @@
+"""Exact transportation solver: min-cost flow on a bipartite graph.
+
+This is the optimality-gap oracle's engine.  Given per-source demands,
+per-sink capacities, and per-(source, sink) unit costs, it computes an
+*exact* minimum-cost assignment by successive shortest paths with
+Johnson potentials — the LP optimum of the transportation problem (the
+constraint matrix is totally unimodular, so the integer optimum and the
+LP relaxation coincide).  Every gap ratio the harness reports divides a
+measured protocol cost by one of these optima, which is what makes the
+``ratio >= 1`` guarantee structural rather than empirical.
+
+Pure Python, no external solver: instances in the harness are small
+(tens of sinks, at most a few thousand aggregated sources).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class MinCostFlow:
+    """Successive-shortest-path min-cost max-flow (non-negative costs)."""
+
+    def __init__(self, num_nodes: int) -> None:
+        self._n = num_nodes
+        self._graph: list[list[int]] = [[] for _ in range(num_nodes)]
+        self._to: list[int] = []
+        self._cap: list[float] = []
+        self._cost: list[float] = []
+
+    def add_edge(self, source: int, target: int, cap: float, cost: float) -> int:
+        """Add a directed edge; returns its id (for flow readback)."""
+        if cost < 0:
+            raise ConfigurationError("MinCostFlow needs non-negative costs")
+        edge_id = len(self._to)
+        self._graph[source].append(edge_id)
+        self._to.append(target)
+        self._cap.append(cap)
+        self._cost.append(cost)
+        self._graph[target].append(edge_id + 1)
+        self._to.append(source)
+        self._cap.append(0.0)
+        self._cost.append(-cost)
+        return edge_id
+
+    def flow_on(self, edge_id: int) -> float:
+        """Flow pushed through the edge returned by :meth:`add_edge`."""
+        return self._cap[edge_id ^ 1]
+
+    def run(self, source: int, sink: int) -> tuple[float, float]:
+        """Push max flow from source to sink; returns ``(flow, cost)``."""
+        n = self._n
+        to, cap, cost = self._to, self._cap, self._cost
+        potential = [0.0] * n
+        total_flow = 0.0
+        total_cost = 0.0
+        while True:
+            dist = [math.inf] * n
+            dist[source] = 0.0
+            prev_edge = [-1] * n
+            heap: list[tuple[float, int]] = [(0.0, source)]
+            while heap:
+                d, v = heapq.heappop(heap)
+                if d > dist[v]:
+                    continue
+                for edge_id in self._graph[v]:
+                    if cap[edge_id] <= 1e-12:
+                        continue
+                    u = to[edge_id]
+                    nd = d + cost[edge_id] + potential[v] - potential[u]
+                    if nd < dist[u] - 1e-12:
+                        dist[u] = nd
+                        prev_edge[u] = edge_id
+                        heapq.heappush(heap, (nd, u))
+            if not math.isfinite(dist[sink]):
+                break
+            for v in range(n):
+                if math.isfinite(dist[v]):
+                    potential[v] += dist[v]
+            bottleneck = math.inf
+            v = sink
+            while v != source:
+                edge_id = prev_edge[v]
+                bottleneck = min(bottleneck, cap[edge_id])
+                v = to[edge_id ^ 1]
+            v = sink
+            while v != source:
+                edge_id = prev_edge[v]
+                cap[edge_id] -= bottleneck
+                cap[edge_id ^ 1] += bottleneck
+                total_cost += bottleneck * cost[edge_id]
+                v = to[edge_id ^ 1]
+            total_flow += bottleneck
+        return total_flow, total_cost
+
+
+@dataclass(frozen=True)
+class TransportPlan:
+    """An optimal transportation assignment."""
+
+    #: Total unit-cost of the optimal assignment.
+    cost: float
+    #: Units shipped (equals total supply iff the instance is feasible).
+    shipped: float
+    #: Total supply requested.
+    supply: float
+    #: ``flows[(supply_index, sink)]`` — units assigned, > 0 entries only.
+    flows: Mapping[tuple[int, int], float]
+
+    @property
+    def feasible(self) -> bool:
+        return self.shipped >= self.supply - 1e-9
+
+
+def solve_transport(
+    supplies: Sequence[tuple[float, Mapping[int, float]]],
+    capacities: Mapping[int, float],
+) -> TransportPlan:
+    """Solve ``min sum flow * cost`` subject to supplies and capacities.
+
+    ``supplies`` is a sequence of ``(amount, {sink: unit_cost})`` pairs;
+    each supply may only ship to the sinks its cost map names.  Sinks
+    absent from ``capacities`` have capacity 0.
+    """
+    sinks = sorted(capacities)
+    sink_index = {sink: i for i, sink in enumerate(sinks)}
+    num_supplies = len(supplies)
+    source = 0
+    sink_node = 1 + num_supplies + len(sinks)
+    flow = MinCostFlow(sink_node + 1)
+    arc_ids: dict[tuple[int, int], int] = {}
+    total_supply = 0.0
+    for i, (amount, costs) in enumerate(supplies):
+        if amount < 0:
+            raise ConfigurationError(f"negative supply at index {i}")
+        if amount == 0:
+            continue
+        total_supply += amount
+        flow.add_edge(source, 1 + i, amount, 0.0)
+        for sink, unit_cost in sorted(costs.items()):
+            if sink not in sink_index:
+                raise ConfigurationError(
+                    f"supply {i} names sink {sink} with no declared capacity"
+                )
+            arc_ids[(i, sink)] = flow.add_edge(
+                1 + i, 1 + num_supplies + sink_index[sink], amount, float(unit_cost)
+            )
+    for sink in sinks:
+        cap = float(capacities[sink])
+        if cap < 0:
+            raise ConfigurationError(f"negative capacity for sink {sink}")
+        flow.add_edge(1 + num_supplies + sink_index[sink], sink_node, cap, 0.0)
+    shipped, cost = flow.run(source, sink_node)
+    flows = {
+        key: flow.flow_on(edge_id)
+        for key, edge_id in arc_ids.items()
+        if flow.flow_on(edge_id) > 1e-9
+    }
+    return TransportPlan(
+        cost=cost, shipped=shipped, supply=total_supply, flows=flows
+    )

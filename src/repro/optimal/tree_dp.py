@@ -1,0 +1,166 @@
+"""Exact bottom-up DP for replica placement on trees (Closest policy).
+
+The solver processes nodes in reverse breadth-first order (children
+before parents).  The DP state after finishing a subtree is the pair
+``(upflow, slack)``: how many unserved demand units leave the subtree
+toward the root, and the minimum remaining QoS budget (in hops) over
+those units.  Two subtree solutions with the same state are
+interchangeable for every possible completion above them — a replica
+higher up only cares how many units arrive and whether any of them has
+run out of QoS budget — so keeping the cheapest cost per state (plus a
+same-upflow Pareto filter over ``(slack, cost)``) is exact.
+
+Per node the transitions are:
+
+* account the node's own demand (units enter with the node's QoS bound),
+* merge children states (upflows add, slacks take the minimum, each
+  child's units pay one hop of budget crossing the edge; states whose
+  units exhaust their budget are pruned),
+* optionally open a replica, which under the Closest policy must absorb
+  *all* arriving units — feasible only within the node's capacity — and
+  resets the state to ``(0, inf)`` at the node's placement cost.
+
+The root is feasible iff some state has upflow 0.  Complexity is
+pseudo-polynomial in total demand — exact and fast for the golden tests
+and (with demand quantisation, see ``TreeInstance.from_topology``) cheap
+enough for the optimality-gap benchmark's per-object instances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.optimal.instance import (
+    INF_SLACK,
+    PlacementEvaluation,
+    TreeInstance,
+    evaluate_tree_placement,
+)
+
+#: DP state: (unserved units flowing up, min remaining QoS budget).
+State = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class TreePlacement:
+    """An optimal replica set, with its Closest-policy evaluation."""
+
+    replicas: tuple[int, ...]
+    cost: float
+    #: Units absorbed at each replica site.
+    loads: Mapping[int, int]
+    #: Serving replica for each node with demand.
+    assignment: Mapping[int, int]
+
+
+def _pareto(states: dict[State, tuple]) -> dict[State, tuple]:
+    """Drop dominated states: same upflow, no more slack, no cheaper.
+
+    Entries are tuples whose first element is the cost; scanning each
+    upflow group by descending slack and keeping strictly decreasing
+    costs leaves exactly the Pareto frontier.
+    """
+    by_upflow: dict[int, list[tuple[int, tuple]]] = {}
+    for (upflow, slack), entry in states.items():
+        by_upflow.setdefault(upflow, []).append((slack, entry))
+    out: dict[State, tuple] = {}
+    for upflow, entries in by_upflow.items():
+        entries.sort(key=lambda item: (-item[0], item[1][0]))
+        best = math.inf
+        for slack, entry in entries:
+            if entry[0] < best:
+                out[(upflow, slack)] = entry
+                best = entry[0]
+    return out
+
+
+def solve_tree_placement(instance: TreeInstance) -> TreePlacement | None:
+    """The minimum-cost feasible replica set, or ``None`` if none exists."""
+    demand, capacity, qos = instance.demand, instance.capacity, instance.qos
+    pcost = instance.placement_cost
+
+    # final[v]: state -> (cost, placed_replica, merged_state)
+    final: dict[int, dict[State, tuple[float, bool, State]]] = {}
+    # partials[v][k]: state after merging the first k children ->
+    #   (cost, previous_partial_state, child_final_state)
+    partials: dict[int, list[dict[State, tuple[float, State | None, State | None]]]] = {}
+
+    for v in reversed(instance.order):
+        base_state: State = (demand[v], qos[v] if demand[v] > 0 else INF_SLACK)
+        steps: list[dict[State, tuple[float, State | None, State | None]]] = [
+            {base_state: (0.0, None, None)}
+        ]
+        for child in instance.children[v]:
+            merged: dict[State, tuple[float, State | None, State | None]] = {}
+            for state_a, entry_a in steps[-1].items():
+                cost_a = entry_a[0]
+                for state_c, entry_c in final[child].items():
+                    up_c, slack_c = state_c
+                    if up_c > 0:
+                        slack_c -= 1  # the units pay the edge to v
+                        if slack_c < 0:
+                            continue
+                    else:
+                        slack_c = INF_SLACK
+                    key = (state_a[0] + up_c, min(state_a[1], slack_c))
+                    cost = cost_a + entry_c[0]
+                    current = merged.get(key)
+                    if current is None or cost < current[0]:
+                        merged[key] = (cost, state_a, state_c)
+            steps.append(_pareto(merged))
+        partials[v] = steps
+
+        finals: dict[State, tuple[float, bool, State]] = {}
+        for state, entry in steps[-1].items():
+            upflow = state[0]
+            cost = entry[0]
+            current = finals.get(state)
+            if current is None or cost < current[0]:
+                finals[state] = (cost, False, state)
+            if upflow <= capacity[v]:
+                # A replica here absorbs everything that arrives.
+                absorbed: State = (0, INF_SLACK)
+                rcost = cost + pcost[v]
+                current = finals.get(absorbed)
+                if current is None or rcost < current[0]:
+                    finals[absorbed] = (rcost, True, state)
+        final[v] = _pareto(finals)
+
+    root_states = [
+        (entry[0], state)
+        for state, entry in final[instance.root].items()
+        if state[0] == 0
+    ]
+    if not root_states:
+        return None
+    best_cost, best_state = min(root_states)
+
+    replicas: list[int] = []
+    stack: list[tuple[int, State]] = [(instance.root, best_state)]
+    while stack:
+        v, state = stack.pop()
+        _, placed, merged_state = final[v][state]
+        if placed:
+            replicas.append(v)
+        cursor: State | None = merged_state
+        for k in range(len(instance.children[v]), 0, -1):
+            child = instance.children[v][k - 1]
+            _, prev_state, child_state = partials[v][k][cursor]
+            stack.append((child, child_state))
+            cursor = prev_state
+
+    replicas.sort()
+    check: PlacementEvaluation = evaluate_tree_placement(instance, replicas)
+    if not check.feasible or abs(check.cost - best_cost) > 1e-9:
+        raise AssertionError(
+            f"tree DP reconstruction mismatch: {replicas} -> {check} "
+            f"(expected cost {best_cost})"
+        )
+    return TreePlacement(
+        replicas=tuple(replicas),
+        cost=best_cost,
+        loads=check.loads,
+        assignment=check.assignment,
+    )

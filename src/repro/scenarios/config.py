@@ -44,6 +44,13 @@ class ScenarioConfig:
     dynamic: bool = True
     #: Request-distribution policy: "paper", "round-robin" or "closest".
     distribution: str = "paper"
+    #: Placement strategy from the baseline registry
+    #: (:data:`repro.baselines.STRATEGIES`): "paper" (the protocol),
+    #: "static", "round-robin", "closest", "full-replication",
+    #: "offline-greedy" or "availability-aware".  Non-"paper" strategies
+    #: may override build-time fields (``dynamic``, ``distribution``),
+    #: swap the initial placement, or attach a placer to the run.
+    strategy: str = "paper"
     #: Poisson (True) vs evenly spaced (False, paper) request arrivals.
     poisson: bool = False
     #: Maintain per-link byte counters (off by default for speed).
@@ -99,6 +106,11 @@ class ScenarioConfig:
             raise ConfigurationError(
                 f"unknown distribution policy {self.distribution!r}"
             )
+        if self.strategy != "paper":
+            # Late import: the baseline registry is a config consumer.
+            from repro.baselines import resolve_strategy
+
+            resolve_strategy(self.strategy)
         if self.bucket <= 0:
             raise ConfigurationError("bucket width must be positive")
         if self.trace_capacity < 1:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.baselines import resolve_strategy
 from repro.baselines.closest import ClosestReplicaRedirector
 from repro.baselines.round_robin import RoundRobinRedirector
 from repro.consistency.plane import ConsistencyPlane
@@ -104,7 +105,16 @@ def build_system(
     ``tracer`` overrides the tracer to attach; with ``config.traced``
     set and no explicit tracer, a fresh :class:`DecisionTracer` of
     ``config.trace_capacity`` is attached (reachable as ``system.tracer``).
+
+    ``config.strategy`` resolves through the baseline registry: its
+    build-time overrides (``dynamic``, ``distribution``) are applied
+    here and its initial-placement hook, if any, replaces
+    ``initialize_round_robin``.  The default "paper" strategy leaves
+    every path untouched.
     """
+    strategy = resolve_strategy(config.strategy)
+    if strategy.overrides:
+        config = config.replace(**dict(strategy.overrides))
     topology = topology or uunet_backbone(config.topology_seed)
     if sim is None:
         sim = Simulator(bucket_width=auto_bucket_width(config, topology.num_nodes))
@@ -146,7 +156,10 @@ def build_system(
             config.consistency,
             rng=RngFactory(config.seed).stream("consistency"),
         )
-    system.initialize_round_robin()
+    if strategy.initial_placement is not None:
+        strategy.initial_placement(system, config)
+    else:
+        system.initialize_round_robin()
     rng_factory = RngFactory(config.seed)
     workload = make_workload(config, topology, rng_factory)
     return sim, system, workload
@@ -167,6 +180,9 @@ class ScenarioResult:
     #: The failure injector that drove scheduled outages (None unless the
     #: scenario's fault config scheduled any).
     injector: FailureInjector | None = None
+    #: The strategy's attached placer (None unless ``config.strategy``
+    #: declares one, e.g. availability-aware).
+    placer: object | None = None
 
     # -- Figure 6 -------------------------------------------------------
 
@@ -347,9 +363,20 @@ def run_scenario(
     *,
     topology: Topology | None = None,
     tracer: DecisionTracer | None = None,
+    request_observers: tuple = (),
+    measurement_observers: tuple = (),
 ) -> ScenarioResult:
-    """Run a scenario start-to-finish and return its measurements."""
+    """Run a scenario start-to-finish and return its measurements.
+
+    ``request_observers`` / ``measurement_observers`` are extra callbacks
+    attached to the system before it starts (see
+    ``HostingSystem.request_observers``); the optimality-gap harness uses
+    them to record the demand trace.  Defaults leave the run untouched.
+    """
+    strategy = resolve_strategy(config.strategy)
     sim, system, workload = build_system(config, topology=topology, tracer=tracer)
+    system.request_observers.extend(request_observers)
+    system.measurement_observers.extend(measurement_observers)
     bandwidth = BandwidthCollector(system.network, bucket=config.bucket)
     latency = LatencyCollector(
         system, bucket=config.bucket, keep_samples=config.keep_latency_samples
@@ -370,6 +397,10 @@ def run_scenario(
                 horizon=config.duration,
             )
     system.start()
+    placer = None
+    if strategy.attach is not None:
+        placer = strategy.attach(system, config)
+        placer.start()
     generators = attach_generators(
         sim,
         system,
@@ -395,6 +426,8 @@ def run_scenario(
         generator.stop()
     if writer is not None:
         writer.stop()
+    if placer is not None:
+        placer.stop()
     system.stop()
     replicas.stop()
     loads.finalize()
@@ -409,4 +442,5 @@ def run_scenario(
         replicas=replicas,
         trace=system.tracer,
         injector=injector,
+        placer=placer,
     )

@@ -180,12 +180,16 @@ class SweepSpec:
         consistency block at its all-off defaults and an empty partition
         schedule describe exactly the runs that existed before those
         fields did, so both are dropped at their defaults to keep
-        pre-existing hashes (and their baselines) valid.
+        pre-existing hashes (and their baselines) valid.  The ``strategy``
+        field is likewise dropped at its "paper" default (the value that
+        describes every pre-registry run) but hashed when set.
         """
         base = dataclasses.asdict(self.base)
         base.pop("check_invariants", None)
         base.pop("batched_arrivals", None)
         base.pop("queue_bucket_width", None)
+        if base.get("strategy") == "paper":
+            base.pop("strategy", None)
         if base.get("consistency") == dataclasses.asdict(ConsistencyConfig()):
             base.pop("consistency", None)
         faults = base.get("faults")

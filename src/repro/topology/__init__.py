@@ -5,17 +5,22 @@ America, Europe and the Pacific Rim / Australia).  The original map is no
 longer available, so :mod:`repro.topology.uunet` synthesises a
 deterministic 53-node backbone with the same regional structure (see
 DESIGN.md for the substitution rationale).  :mod:`repro.topology.generators`
-provides additional families (line, ring, star, grid, random geometric)
-used by tests, examples and ablation benchmarks.
+provides additional families (line, ring, star, grid, random geometric,
+balanced/random trees with capacity and QoS annotations) used by tests,
+examples, ablation benchmarks and the optimality-gap harness.
 """
 
 from repro.topology.graph import Topology
 from repro.topology.regions import REGIONS, Region, region_of
 from repro.topology.uunet import uunet_backbone
 from repro.topology.generators import (
+    balanced_tree_topology,
     grid_topology,
     line_topology,
+    node_capacities,
+    node_qos,
     random_geometric_topology,
+    random_tree_topology,
     ring_topology,
     star_topology,
     two_cluster_topology,
@@ -33,4 +38,8 @@ __all__ = [
     "grid_topology",
     "random_geometric_topology",
     "two_cluster_topology",
+    "balanced_tree_topology",
+    "random_tree_topology",
+    "node_capacities",
+    "node_qos",
 ]

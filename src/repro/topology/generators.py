@@ -99,6 +99,135 @@ def two_cluster_topology(
     )
 
 
+#: Default node annotations for the tree families.  Capacity is in
+#: requests/sec (the scenario-level unit); QoS is a hop bound: the
+#: maximum distance a node tolerates to its serving replica (the
+#: Rehn-Sonigo tree-placement formulation the optimal solvers use).
+DEFAULT_TREE_CAPACITY = 200.0
+
+
+def _annotate_nodes(
+    graph: nx.Graph, capacities: dict[int, float], qos: dict[int, int]
+) -> None:
+    for node, value in capacities.items():
+        graph.nodes[node]["capacity"] = value
+    for node, value in qos.items():
+        graph.nodes[node]["qos"] = value
+
+
+def node_capacities(
+    topology: Topology, default: float = DEFAULT_TREE_CAPACITY
+) -> dict[int, float]:
+    """Per-node service capacity annotations (``default`` where absent)."""
+    graph = topology.graph
+    return {
+        node: float(graph.nodes[node].get("capacity", default))
+        for node in topology.nodes
+    }
+
+
+def node_qos(topology: Topology, default: int | None = None) -> dict[int, int]:
+    """Per-node QoS hop-bound annotations.
+
+    Nodes without an annotation get ``default``; a ``None`` default means
+    "unbounded" and is reported as the topology's diameter (always a
+    valid bound on a connected graph).
+    """
+    graph = topology.graph
+    fallback = topology.diameter() if default is None else default
+    return {
+        node: int(graph.nodes[node].get("qos", fallback))
+        for node in topology.nodes
+    }
+
+
+def balanced_tree_topology(
+    branching: int,
+    height: int,
+    *,
+    capacity: float = DEFAULT_TREE_CAPACITY,
+    qos: int | None = None,
+) -> Topology:
+    """A complete ``branching``-ary tree of the given height, rooted at 0.
+
+    Nodes are numbered breadth-first (node ``i``'s children are
+    ``branching*i + 1 .. branching*i + branching``), so the layout is
+    fully deterministic.  Every node carries a ``capacity`` annotation
+    (requests/sec) and a ``qos`` hop bound (default: ``2 * height``, the
+    diameter, i.e. effectively unbounded).
+    """
+    if branching < 1:
+        raise TopologyError("balanced tree needs branching >= 1")
+    if height < 0:
+        raise TopologyError("balanced tree needs height >= 0")
+    if capacity <= 0:
+        raise TopologyError("tree capacity must be positive")
+    n = sum(branching**level for level in range(height + 1))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for node in range(n):
+        for k in range(1, branching + 1):
+            child = branching * node + k
+            if child >= n:
+                break
+            graph.add_edge(node, child)
+    bound = qos if qos is not None else max(1, 2 * height)
+    _annotate_nodes(
+        graph,
+        {node: capacity for node in range(n)},
+        {node: bound for node in range(n)},
+    )
+    return Topology(graph, name=f"ktree-{branching}x{height}")
+
+
+def random_tree_topology(
+    n: int,
+    *,
+    seed: int = 7,
+    capacity_range: tuple[float, float] = (
+        0.5 * DEFAULT_TREE_CAPACITY,
+        1.5 * DEFAULT_TREE_CAPACITY,
+    ),
+    qos_range: tuple[int, int] | None = None,
+) -> Topology:
+    """A random-attachment tree on ``n`` nodes, rooted at 0.
+
+    Node ``i`` (``i >= 1``) attaches to a uniformly random earlier node,
+    drawn from the seed-derived ``"random-tree"`` stream — the same seed
+    always yields the same tree, capacities and QoS bounds.  Capacities
+    are uniform in ``capacity_range``; QoS hop bounds are integers in
+    ``qos_range`` (default: ``(2, diameter)``, so bounds bite without
+    making instances trivially infeasible).
+    """
+    if n < 1:
+        raise TopologyError("random tree topology needs n >= 1")
+    lo, hi = capacity_range
+    if lo <= 0 or hi < lo:
+        raise TopologyError(f"bad capacity range {capacity_range!r}")
+    rng = RngFactory(seed).stream("random-tree")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for node in range(1, n):
+        graph.add_edge(rng.randrange(node), node)
+    capacities = {node: rng.uniform(lo, hi) for node in range(n)}
+    if qos_range is None:
+        diameter = (
+            max(
+                max(lengths.values())
+                for _, lengths in nx.shortest_path_length(graph)
+            )
+            if n > 1
+            else 1
+        )
+        qos_range = (min(2, diameter), max(2, diameter))
+    q_lo, q_hi = qos_range
+    if q_lo < 0 or q_hi < q_lo:
+        raise TopologyError(f"bad qos range {qos_range!r}")
+    qos = {node: rng.randint(q_lo, q_hi) for node in range(n)}
+    _annotate_nodes(graph, capacities, qos)
+    return Topology(graph, name=f"rtree-{n}-s{seed}")
+
+
 def random_geometric_topology(
     n: int, *, radius: float | None = None, seed: int = 7
 ) -> Topology:

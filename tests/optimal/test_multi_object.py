@@ -1,0 +1,117 @@
+"""Tests for the capacity-aware greedy multi-object placer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.optimal.multi_object import (
+    greedy_multi_object_placement,
+    greedy_replica_set,
+    weighted_distance,
+)
+from repro.routing.routes_db import RoutingDatabase
+from repro.topology.generators import line_topology
+
+
+@pytest.fixture(scope="module")
+def line_routes():
+    return RoutingDatabase(line_topology(8))
+
+
+def test_weighted_distance(line_routes):
+    demand = {0: 2.0, 7: 1.0}
+    assert weighted_distance(demand, [0], line_routes.distance) == pytest.approx(7.0)
+    assert weighted_distance(demand, [0, 7], line_routes.distance) == 0.0
+    assert weighted_distance(demand, [], line_routes.distance) == float("inf")
+
+
+def test_greedy_single_replica_is_the_weighted_median(line_routes):
+    demand = {0: 1.0, 1: 1.0, 2: 1.0, 7: 1.0}
+    chosen = greedy_replica_set(demand, range(8), line_routes.distance, 1)
+    assert chosen == (1,)
+
+
+def test_greedy_two_replicas_cover_both_ends(line_routes):
+    demand = {0: 5.0, 1: 5.0, 6: 5.0, 7: 5.0}
+    chosen = greedy_replica_set(demand, range(8), line_routes.distance, 2)
+    assert len(chosen) == 2
+    assert min(chosen) <= 1 and max(chosen) >= 6
+
+
+def test_greedy_never_increases_cost_with_more_replicas(line_routes):
+    demand = {g: float(g + 1) for g in range(8)}
+    costs = [
+        weighted_distance(
+            demand,
+            greedy_replica_set(demand, range(8), line_routes.distance, k),
+            line_routes.distance,
+        )
+        for k in (1, 2, 3, 4)
+    ]
+    assert costs == sorted(costs, reverse=True)
+
+
+def test_greedy_replica_set_validates(line_routes):
+    with pytest.raises(ConfigurationError):
+        greedy_replica_set({0: 1.0}, range(8), line_routes.distance, 0)
+    with pytest.raises(ConfigurationError):
+        greedy_replica_set({0: 1.0}, [], line_routes.distance, 1)
+
+
+def test_multi_object_respects_capacity(line_routes):
+    # Two heavy objects both want host 0; capacity forces one elsewhere.
+    demands = {
+        "a": {0: 10.0},
+        "b": {0: 10.0},
+    }
+    result = greedy_multi_object_placement(
+        demands,
+        range(8),
+        line_routes.distance,
+        capacities={h: 10.0 for h in range(8)},
+        max_replicas_per_object=1,
+    )
+    assert not result.overflowed
+    hosts = {result.placements["a"][0], result.placements["b"][0]}
+    assert len(hosts) == 2
+    assert all(load <= 10.0 + 1e-9 for load in result.loads.values())
+
+
+def test_multi_object_overflow_is_reported(line_routes):
+    demands = {"a": {0: 10.0}}
+    result = greedy_multi_object_placement(
+        demands,
+        range(8),
+        line_routes.distance,
+        capacities={h: 1.0 for h in range(8)},
+    )
+    assert result.overflowed == ("a",)
+
+
+def test_multi_object_adds_replicas_when_free(line_routes):
+    demands = {"a": {0: 5.0, 7: 5.0}}
+    result = greedy_multi_object_placement(
+        demands, range(8), line_routes.distance, max_replicas_per_object=2
+    )
+    assert result.placements["a"] == (0, 7)
+    assert result.cost == pytest.approx(0.0)
+
+
+def test_replica_cost_suppresses_marginal_copies(line_routes):
+    demands = {"a": {0: 5.0, 7: 5.0}}
+    result = greedy_multi_object_placement(
+        demands,
+        range(8),
+        line_routes.distance,
+        max_replicas_per_object=2,
+        replica_cost=1000.0,
+    )
+    assert len(result.placements["a"]) == 1
+
+
+def test_multi_object_validates(line_routes):
+    with pytest.raises(ConfigurationError):
+        greedy_multi_object_placement(
+            {}, range(8), line_routes.distance, max_replicas_per_object=0
+        )
+    with pytest.raises(ConfigurationError):
+        greedy_multi_object_placement({}, [], line_routes.distance)

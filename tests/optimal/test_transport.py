@@ -1,0 +1,85 @@
+"""Tests for the exact transportation solver (the gap oracle's engine)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.optimal.transport import MinCostFlow, solve_transport
+
+
+def test_single_supply_single_sink():
+    plan = solve_transport([(5.0, {0: 2.0})], {0: 10.0})
+    assert plan.feasible
+    assert plan.cost == pytest.approx(10.0)
+    assert plan.flows == {(0, 0): pytest.approx(5.0)}
+
+
+def test_picks_the_cheaper_sink():
+    plan = solve_transport([(4.0, {0: 3.0, 1: 1.0})], {0: 10.0, 1: 10.0})
+    assert plan.cost == pytest.approx(4.0)
+    assert plan.flows == {(0, 1): pytest.approx(4.0)}
+
+
+def test_capacity_forces_a_split():
+    plan = solve_transport([(6.0, {0: 1.0, 1: 5.0})], {0: 4.0, 1: 10.0})
+    assert plan.feasible
+    # 4 units at cost 1, the remaining 2 at cost 5.
+    assert plan.cost == pytest.approx(4.0 + 10.0)
+    assert plan.flows[(0, 0)] == pytest.approx(4.0)
+    assert plan.flows[(0, 1)] == pytest.approx(2.0)
+
+
+def test_optimal_across_competing_supplies():
+    """The greedy-per-supply answer is wrong here; the LP optimum swaps."""
+    supplies = [
+        (3.0, {0: 1.0, 1: 2.0}),  # prefers sink 0
+        (3.0, {0: 1.0, 1: 10.0}),  # *needs* sink 0 much more
+    ]
+    plan = solve_transport(supplies, {0: 3.0, 1: 10.0})
+    assert plan.feasible
+    # Supply 1 takes all of sink 0; supply 0 settles for sink 1.
+    assert plan.cost == pytest.approx(3.0 * 1.0 + 3.0 * 2.0)
+    assert plan.flows[(1, 0)] == pytest.approx(3.0)
+    assert plan.flows[(0, 1)] == pytest.approx(3.0)
+
+
+def test_infeasible_when_capacity_short():
+    plan = solve_transport([(5.0, {0: 1.0})], {0: 2.0})
+    assert not plan.feasible
+    assert plan.shipped == pytest.approx(2.0)
+    assert plan.supply == pytest.approx(5.0)
+
+
+def test_zero_supplies_are_skipped():
+    plan = solve_transport([(0.0, {0: 1.0}), (2.0, {0: 1.0})], {0: 5.0})
+    assert plan.feasible
+    assert plan.cost == pytest.approx(2.0)
+
+
+def test_rejects_negative_supply_and_capacity():
+    with pytest.raises(ConfigurationError):
+        solve_transport([(-1.0, {0: 1.0})], {0: 1.0})
+    with pytest.raises(ConfigurationError):
+        solve_transport([(1.0, {0: 1.0})], {0: -1.0})
+
+
+def test_rejects_undeclared_sink():
+    with pytest.raises(ConfigurationError):
+        solve_transport([(1.0, {7: 1.0})], {0: 1.0})
+
+
+def test_min_cost_flow_rejects_negative_costs():
+    flow = MinCostFlow(2)
+    with pytest.raises(ConfigurationError):
+        flow.add_edge(0, 1, 1.0, -1.0)
+
+
+def test_min_cost_flow_flow_readback():
+    flow = MinCostFlow(3)
+    cheap = flow.add_edge(0, 1, 2.0, 1.0)
+    flow.add_edge(1, 2, 5.0, 0.0)
+    expensive = flow.add_edge(0, 2, 5.0, 3.0)
+    moved, cost = flow.run(0, 2)
+    assert moved == pytest.approx(7.0)
+    assert cost == pytest.approx(2.0 * 1.0 + 5.0 * 3.0)
+    assert flow.flow_on(cheap) == pytest.approx(2.0)
+    assert flow.flow_on(expensive) == pytest.approx(5.0)

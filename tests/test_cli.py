@@ -196,3 +196,71 @@ def test_trace_subcommand_kind_filter_and_file_output(tmp_path, capsys):
     records = [json.loads(line) for line in out.read_text().splitlines()]
     assert records
     assert {record["kind"] for record in records} == {"placement"}
+
+
+def test_run_strategy_flag_default():
+    args = build_parser().parse_args([])
+    assert args.strategy == "paper"
+
+
+def test_gap_subcommand_runs_one_point(tmp_path, capsys):
+    out = tmp_path / "gap.json"
+    code = main(
+        [
+            "gap",
+            "--quick",
+            "--out",
+            str(out),
+            "--set",
+            "gap.topology=ktree-2-2",
+            "--set",
+            "gap.load_scale=0.5",
+            "--set",
+            "gap.fault=none",
+            "--set",
+            "gap.strategy=static",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == "optgap-v1"
+    assert len(payload["points"]) == 1
+    point = payload["points"][0]
+    assert point["strategy"] == "static"
+    assert point["gap_ratio"] >= 1.0 - 1e-9
+    assert "tree_gap" in point
+    assert "worst gap" in capsys.readouterr().err
+
+
+def test_gap_scalar_override_and_stdout(tmp_path, capsys):
+    code = main(
+        [
+            "gap",
+            "--quick",
+            "--out",
+            "-",
+            "--set",
+            "gap.topology=ktree-2-2",
+            "--set",
+            "gap.load_scale=0.5",
+            "--set",
+            "gap.fault=none",
+            "--set",
+            "gap.strategy=static",
+            "--set",
+            "gap.duration=120",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["settings"]["duration"] == 120
+
+
+def test_gap_rejects_unknown_set_key():
+    with pytest.raises(SystemExit):
+        main(["gap", "--set", "gap.bogus=1"])
+
+
+def test_gap_rejects_multi_valued_scalar():
+    with pytest.raises(SystemExit):
+        main(["gap", "--set", "gap.duration=10,20"])

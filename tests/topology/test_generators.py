@@ -7,9 +7,14 @@ from hypothesis import strategies as st
 from repro.errors import TopologyError
 from repro.routing.routes_db import RoutingDatabase
 from repro.topology.generators import (
+    DEFAULT_TREE_CAPACITY,
+    balanced_tree_topology,
     grid_topology,
     line_topology,
+    node_capacities,
+    node_qos,
     random_geometric_topology,
+    random_tree_topology,
     ring_topology,
     star_topology,
     two_cluster_topology,
@@ -81,3 +86,83 @@ def test_generator_input_validation():
         grid_topology(0, 3)
     with pytest.raises(TopologyError):
         random_geometric_topology(1)
+
+
+# ----------------------------------------------------------------------
+# Annotated tree families (the optimal-placement instances)
+# ----------------------------------------------------------------------
+
+
+def test_balanced_tree_structure():
+    topology = balanced_tree_topology(2, 2)
+    assert topology.num_nodes == 7
+    assert topology.num_links == 6
+    # Breadth-first numbering: node i's children are 2i+1 and 2i+2.
+    for node in range(3):
+        assert set(topology.neighbors(node)) >= {2 * node + 1, 2 * node + 2}
+    assert topology.name == "ktree-2x2"
+
+
+def test_balanced_tree_annotations():
+    topology = balanced_tree_topology(3, 1, capacity=42.0, qos=1)
+    assert node_capacities(topology) == {v: 42.0 for v in range(4)}
+    assert node_qos(topology) == {v: 1 for v in range(4)}
+    # Defaults: uniform capacity, qos = 2 * height (the diameter).
+    default = balanced_tree_topology(2, 3)
+    assert set(node_qos(default).values()) == {6}
+    assert set(node_capacities(default).values()) == {DEFAULT_TREE_CAPACITY}
+
+
+def test_balanced_tree_validation():
+    with pytest.raises(TopologyError):
+        balanced_tree_topology(0, 2)
+    with pytest.raises(TopologyError):
+        balanced_tree_topology(2, -1)
+    with pytest.raises(TopologyError):
+        balanced_tree_topology(2, 2, capacity=0.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_random_tree_is_a_tree(n, seed):
+    topology = random_tree_topology(n, seed=seed)
+    # n-1 edges on a connected graph (Topology validates connectivity)
+    # is exactly a tree.
+    assert topology.num_nodes == n
+    assert topology.num_links == n - 1
+    caps = node_capacities(topology)
+    assert all(
+        0.5 * DEFAULT_TREE_CAPACITY <= c <= 1.5 * DEFAULT_TREE_CAPACITY
+        for c in caps.values()
+    )
+    assert all(q >= 0 for q in node_qos(topology).values())
+
+
+def test_random_tree_is_deterministic():
+    one = random_tree_topology(12, seed=99)
+    two = random_tree_topology(12, seed=99)
+    assert set(one.graph.edges) == set(two.graph.edges)
+    assert node_capacities(one) == node_capacities(two)
+    assert node_qos(one) == node_qos(two)
+    other = random_tree_topology(12, seed=100)
+    assert set(one.graph.edges) != set(other.graph.edges) or node_capacities(
+        one
+    ) != node_capacities(other)
+
+
+def test_random_tree_validation():
+    with pytest.raises(TopologyError):
+        random_tree_topology(0)
+    with pytest.raises(TopologyError):
+        random_tree_topology(4, capacity_range=(0.0, 1.0))
+    with pytest.raises(TopologyError):
+        random_tree_topology(4, qos_range=(-1, 2))
+
+
+def test_node_qos_default_is_the_diameter():
+    topology = line_topology(5)  # no annotations
+    assert node_qos(topology) == {v: 4 for v in range(5)}
+    assert node_qos(topology, default=2) == {v: 2 for v in range(5)}

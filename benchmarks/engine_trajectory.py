@@ -26,6 +26,17 @@ horizon for the large-topology run.  The committed
 ``benchmarks/reports/engine_baseline.json`` is a ``--quick`` artifact;
 regenerate it (same flag) after an intentional engine change and gate
 with ``python benchmarks/compare_baseline.py --engine BENCH_engine.json``.
+
+The repo root also commits a ``BENCH_engine.json``: the same artifact
+plus a ``history`` list with one compact point per PR, so the measured
+perf trajectory lives in the repo.  Extend it after a perf-relevant
+change with::
+
+    python benchmarks/engine_trajectory.py --quick --append-history \
+        --label "<short change description>" --out BENCH_engine.json
+
+(the gate ignores the extra ``history`` key, so the root artifact is
+directly comparable with ``--engine`` as well).
 """
 
 from __future__ import annotations
@@ -207,6 +218,35 @@ def run_trajectory(quick: bool) -> dict:
     }
 
 
+def history_point(artifact: dict, label: str) -> dict:
+    """Compact one run into a trajectory-history point.
+
+    One of these per PR is appended to the committed root
+    ``BENCH_engine.json``, so the repo carries the measured perf
+    trajectory (shape rates plus the deterministic large-topology
+    fingerprint) rather than only the latest number.
+    """
+    rates = {}
+    for shape, result in artifact["results"].items():
+        rate = result.get("events_per_sec") or result.get("requests_per_sec")
+        rates[shape] = round(rate, 1)
+    large = artifact["results"]["large_topology"]
+    return {
+        "label": label,
+        "quick": artifact["quick"],
+        "rates": rates,
+        "large_topology": {
+            key: large[key]
+            for key in (
+                "completed_requests",
+                "requests_per_sec",
+                "wall_s",
+                "duration_simulated_s",
+            )
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -217,10 +257,30 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="CI mode: fewer repeats, 20 s large-topology horizon",
     )
+    parser.add_argument(
+        "--append-history",
+        action="store_true",
+        help=(
+            "carry forward the history list of an existing --out artifact "
+            "and append this run as a new trajectory point"
+        ),
+    )
+    parser.add_argument(
+        "--label",
+        default="HEAD",
+        help="trajectory-point label used with --append-history",
+    )
     args = parser.parse_args(argv)
 
     artifact = run_trajectory(args.quick)
-    Path(args.out).write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    out_path = Path(args.out)
+    if args.append_history:
+        history: list[dict] = []
+        if out_path.exists():
+            history = json.loads(out_path.read_text()).get("history", [])
+        history.append(history_point(artifact, args.label))
+        artifact["history"] = history
+    out_path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
 
     for shape, result in artifact["results"].items():
         rate = result.get("events_per_sec") or result.get("requests_per_sec")

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-One parser, six subcommands:
+One parser, seven subcommands:
 
 ``run``
     One paper scenario in the simulator, printing the evaluation
@@ -33,6 +33,15 @@ One parser, six subcommands:
         python -m repro gap --quick --out BENCH_optgap.json
         python -m repro gap --set gap.load_scale=0.5,1,2 \\
             --set gap.fault=none,600 --set gap.strategy=paper,static
+
+``profile``
+    One scenario run under ``cProfile`` with its wall time attributed
+    to pipeline stages (request pipeline, event engine, workload
+    generation, metrics, placement), plus honest unprofiled stage
+    wall-clocks.  The tool behind the perf trajectory's numbers:
+
+        python -m repro profile --large --duration 20 --json profile.json
+        python -m repro profile --preset zipf --no-fast-lane
 
 ``serve``
     The live asyncio serving runtime — the same protocol over real
@@ -79,7 +88,7 @@ from repro.scenarios.presets import WORKLOAD_NAMES, paper_scenario
 from repro.scenarios.runner import run_scenario, scenario_metrics
 from repro.sweep import SweepSpec, default_workers, run_sweep, smoke_spec
 
-COMMANDS = ("run", "trace", "sweep", "gap", "serve", "loadgen")
+COMMANDS = ("run", "trace", "sweep", "gap", "profile", "serve", "loadgen")
 
 
 # ----------------------------------------------------------------------
@@ -699,6 +708,11 @@ def build_cli() -> argparse.ArgumentParser:
             "gap", help="measure the protocol's optimality gap against the oracle"
         )
     )
+    _populate_profile_parser(
+        sub.add_parser(
+            "profile", help="attribute a scenario's wall time to pipeline stages"
+        )
+    )
     _populate_serve_parser(
         sub.add_parser("serve", help="run the live serving runtime over real sockets")
     )
@@ -1223,6 +1237,98 @@ def loadgen_main(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# profile
+# ----------------------------------------------------------------------
+
+
+def _populate_profile_parser(parser: argparse.ArgumentParser) -> None:
+    _add_scenario_options(
+        parser, workload_flag="--preset", default_duration=120.0
+    )
+    parser.add_argument(
+        "--large",
+        action="store_true",
+        help="profile the 500-host / 100k-object large-topology preset "
+        "instead of the UUNET paper scenario",
+    )
+    parser.add_argument(
+        "--no-fast-lane",
+        action="store_true",
+        help="force every request through the reference pipeline",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="how many functions to list by cumulative time (default: 25)",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="PATH",
+        help="write the full stage breakdown as JSON here",
+    )
+
+
+def profile_main(args: argparse.Namespace) -> int:
+    from repro.obs.profile import profile_scenario, stage_walltimes
+
+    topology = None
+    if args.large:
+        from repro.scenarios.presets import large_topology_scenario
+
+        config, topology = large_topology_scenario(
+            duration=args.duration, seed=args.seed, scale=args.scale
+        )
+    else:
+        config = paper_scenario(
+            workload=args.preset,
+            scale=args.scale,
+            duration=args.duration,
+            seed=args.seed,
+            high_load=args.high_load,
+        )
+    if args.no_fast_lane:
+        config = config.replace(fast_lane=False)
+
+    print(f"profiling {config.name} ({config.duration:g}s simulated)...")
+    walls = stage_walltimes(config, topology=topology)
+    breakdown = profile_scenario(config, topology=topology, top=args.top)
+    breakdown["stage_walltimes"] = walls
+
+    print(
+        f"wall (unprofiled): build {walls['build_s']}s + "
+        f"drain ~{walls['drain_estimate_s']}s = {walls['run_s']}s "
+        f"-> {walls['requests_per_sec']:,.0f} req/s"
+    )
+    counters = breakdown["counters"]
+    print(
+        f"requests: {counters['requests_completed']} completed "
+        f"({counters['requests_fast_lane']} fast lane, "
+        f"{counters['requests_reference_path']} reference path), "
+        f"{counters['requests_dropped']} dropped"
+    )
+    print("\nprofiled time by pipeline stage (cProfile, inflated but mapped):")
+    total = breakdown["profiled_seconds_total"] or 1.0
+    for bucket, seconds in breakdown["stage_seconds"].items():
+        print(f"  {bucket:24s} {seconds:8.3f}s  {seconds / total:6.1%}")
+    print(f"\ntop functions by cumulative time (top {args.top}):")
+    for entry in breakdown["top_functions"][:10]:
+        print(
+            f"  {entry['cumtime_s']:8.3f}s  {entry['calls']:>9} calls  "
+            f"{entry['function']}"
+        )
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(breakdown, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote stage breakdown to {args.json_out}")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 
@@ -1231,6 +1337,7 @@ _COMMAND_MAINS = {
     "trace": trace_main,
     "sweep": sweep_main,
     "gap": gap_main,
+    "profile": profile_main,
     "serve": serve_main,
     "loadgen": loadgen_main,
 }

@@ -38,6 +38,8 @@ class HostServer:
         "dirty_intervals",
         "offloading",
         "access_counts",
+        "pending_access",
+        "path_resolver",
         "last_placement_time",
         "_busy_until",
         "serviced_total",
@@ -80,6 +82,17 @@ class HostServer:
         #: appeared on the preference paths of requests serviced since the
         #: last placement run (Section 4.1).
         self.access_counts: dict[ObjectId, dict[NodeId, int]] = {}
+        #: Deferred access accounting (request fast lane): per object,
+        #: per *gateway*, how many serviced requests await preference-path
+        #: expansion into :attr:`access_counts`.  ``None`` until a fast
+        #: lane installs :attr:`path_resolver`; expansion happens lazily
+        #: when the counts are read (placement/offload time).  Integer
+        #: counts make the expansion order-free, so the expanded totals
+        #: are identical to per-request path walks.
+        self.pending_access: dict[ObjectId, dict[NodeId, int]] | None = None
+        #: ``resolver(gateway) -> preference path from this host`` used to
+        #: expand :attr:`pending_access`; set alongside it.
+        self.path_resolver = None
         self.last_placement_time: Time = start
         self._busy_until: Time = 0.0
         #: Total requests ever serviced (monotonic, for sanity checks).
@@ -170,22 +183,53 @@ class HostServer:
         for node in preference_path:
             counts[node] = counts.get(node, 0) + 1
 
+    def _expand_pending(self, obj: ObjectId) -> None:
+        """Fold deferred per-gateway counts into ``access_counts``.
+
+        Each pending ``(gateway, count)`` pair stands for ``count``
+        serviced requests whose preference path was never walked; walking
+        it once and adding ``count`` per path node produces exactly the
+        totals per-request walks would have (integer sums are order-free).
+        """
+        pending = self.pending_access
+        if not pending:
+            return
+        by_gateway = pending.pop(obj, None)
+        if by_gateway is None:
+            return
+        resolver = self.path_resolver
+        counts = self.access_counts.get(obj)
+        if counts is None:
+            counts = {}
+            self.access_counts[obj] = counts
+        for gateway, pending_count in by_gateway.items():
+            for node in resolver(gateway):
+                counts[node] = counts.get(node, 0) + pending_count
+
     def object_access_counts(self, obj: ObjectId) -> dict[NodeId, int]:
         """``cnt(., x_s)`` for one object (empty if never accessed)."""
+        if self.pending_access:
+            self._expand_pending(obj)
         return self.access_counts.get(obj, {})
 
     def total_access_count(self, obj: ObjectId) -> int:
         """``cnt(s, x_s)`` — the object's total access count here."""
+        if self.pending_access:
+            self._expand_pending(obj)
         return self.access_counts.get(obj, {}).get(self.node, 0)
 
     def reset_access_counts(self, now: Time) -> None:
         """Start a fresh placement observation window."""
         self.access_counts.clear()
+        if self.pending_access:
+            self.pending_access.clear()
         self.last_placement_time = now
 
     def clear_object_state(self, obj: ObjectId) -> None:
         """Forget access counts for an object this host no longer hosts."""
         self.access_counts.pop(obj, None)
+        if self.pending_access:
+            self.pending_access.pop(obj, None)
 
     # ------------------------------------------------------------------
     # Load measurement and bound estimates

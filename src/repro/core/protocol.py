@@ -155,6 +155,10 @@ class HostingSystem:
         #: Optional :class:`~repro.obs.tracer.ProtocolTracer`; attach via
         #: :meth:`attach_tracer` so every instrumentation site is wired.
         self.tracer = None
+        #: The installed :class:`~repro.core.fastlane.FastLane`, if any;
+        #: set by :meth:`enable_fast_lane`, which also rebinds
+        #: :meth:`submit_request` to the flattened pipeline.
+        self.fast_lane = None
 
         topology = self.routes.topology
         weights = host_weights or {}
@@ -371,6 +375,20 @@ class HostingSystem:
                 self.engine.run_host(node, now)
 
         return tick
+
+    def enable_fast_lane(self, *, bandwidth, latency):
+        """Install the flattened request pipeline when nothing blocks it.
+
+        Returns the :class:`~repro.core.fastlane.FastLane` (also stored
+        as :attr:`fast_lane`) or ``None`` when the configuration needs
+        the general path (fault plane, tracer, extra observers, ...).
+        The lane produces bit-identical metrics; the caller must invoke
+        ``fast_lane.flush()`` after the run, before reading byte-hop or
+        bandwidth aggregates (the scenario runner does both).
+        """
+        from repro.core.fastlane import install_fast_lane
+
+        return install_fast_lane(self, bandwidth=bandwidth, latency=latency)
 
     # ------------------------------------------------------------------
     # Request flow

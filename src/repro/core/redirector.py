@@ -288,24 +288,44 @@ class RedirectorService:
             return info.host
         row = self._routes.distance_row(gateway)
         down = self._down_hosts
+        # The eligibility test is hoisted: with no failed hosts and no
+        # exclusion (the overwhelmingly common case) the loop never pays
+        # the set lookup.  The lexicographic minima are tracked in scalar
+        # locals instead of per-replica key tuples; the comparison
+        # sequence is exactly the reference's ``(distance, ratio, host)``
+        # for the closest replica (equidistant replicas tie-break on unit
+        # request count: a fixed id-order tie-break would funnel every
+        # tie in the system to the same hub nodes and manufacture hot
+        # spots) and ``(ratio, host)`` for the least-requested one.
+        filtered = down or exclude is not None
         closest: ReplicaInfo | None = None
-        closest_key: tuple[int, float, int] = (0, 0.0, 0)
         least: ReplicaInfo | None = None
+        closest_dist = 0
+        closest_ratio = 0.0
+        closest_host = 0
         least_ratio = 0.0
+        least_host = 0
         for host, info in replicas.items():
-            if host in down or host == exclude:
+            if filtered and (host in down or host == exclude):
                 continue
             ratio = info.request_count / info.affinity
-            # Equidistant replicas tie-break on unit request count: a
-            # fixed id-order tie-break would funnel every tie in the
-            # system to the same hub nodes and manufacture hot spots.
-            distance_key = (row[host], ratio, host)
-            if closest is None or distance_key < closest_key:
-                closest, closest_key = info, distance_key
-            if least is None or ratio < least_ratio or (
-                ratio == least_ratio and host < least.host
+            distance = row[host]
+            if closest is None:
+                closest = least = info
+                closest_dist, closest_ratio, closest_host = distance, ratio, host
+                least_ratio, least_host = ratio, host
+                continue
+            if distance < closest_dist or (
+                distance == closest_dist
+                and (
+                    ratio < closest_ratio
+                    or (ratio == closest_ratio and host < closest_host)
+                )
             ):
-                least, least_ratio = info, ratio
+                closest = info
+                closest_dist, closest_ratio, closest_host = distance, ratio, host
+            if ratio < least_ratio or (ratio == least_ratio and host < least_host):
+                least, least_ratio, least_host = info, ratio, host
         if closest is None or least is None:
             if tracer is not None:
                 tracer.record(
@@ -318,7 +338,7 @@ class RedirectorService:
                     )
                 )
             return None
-        ratio1 = closest.request_count / closest.affinity
+        ratio1 = closest_ratio
         if ratio1 / self._constant > least_ratio:
             chosen = least
             reason = "least-requested"
@@ -342,6 +362,51 @@ class RedirectorService:
                     constant=self._constant,
                 )
             )
+        return chosen.host
+
+    def choose_replica_reference(
+        self, gateway: NodeId, obj: ObjectId, *, exclude: NodeId | None = None
+    ) -> NodeId | None:
+        """The original tuple-keyed Figure 2 implementation.
+
+        Kept verbatim as the oracle for the property tests that pin the
+        optimised :meth:`choose_replica` (and the request fast lane's
+        inlined sole-replica branch) to the exact reference decision
+        sequence.  Not used on any hot path.
+        """
+        replicas = self._entry(obj)
+        if len(replicas) == 1 and not self._down_hosts and exclude is None:
+            (info,) = replicas.values()
+            info.request_count += 1
+            self.chose_closest += 1
+            return info.host
+        row = self._routes.distance_row(gateway)
+        down = self._down_hosts
+        closest: ReplicaInfo | None = None
+        closest_key: tuple[int, float, int] = (0, 0.0, 0)
+        least: ReplicaInfo | None = None
+        least_ratio = 0.0
+        for host, info in replicas.items():
+            if host in down or host == exclude:
+                continue
+            ratio = info.request_count / info.affinity
+            distance_key = (row[host], ratio, host)
+            if closest is None or distance_key < closest_key:
+                closest, closest_key = info, distance_key
+            if least is None or ratio < least_ratio or (
+                ratio == least_ratio and host < least.host
+            ):
+                least, least_ratio = info, ratio
+        if closest is None or least is None:
+            return None
+        ratio1 = closest.request_count / closest.affinity
+        if ratio1 / self._constant > least_ratio:
+            chosen = least
+            self.chose_least_requested += 1
+        else:
+            chosen = closest
+            self.chose_closest += 1
+        chosen.request_count += 1
         return chosen.host
 
 

@@ -37,6 +37,24 @@ class BandwidthCollector:
         if hops:
             self._by_class[message_class].add(time, float(size) * hops)
 
+    def absorb_counts(
+        self,
+        message_class: MessageClass,
+        size: int,
+        counts: dict[tuple[int, int], int],
+    ) -> None:
+        """Fold aggregated fast-lane traffic into the bucketed series.
+
+        ``counts`` maps ``(bucket, hops)`` to the number of ``size``-byte
+        messages of ``message_class`` that crossed ``hops`` links in that
+        bucket.  Byte-hop values are integers, so the folded sums are
+        bit-identical to per-message :meth:`_observe` calls regardless of
+        interleaving with directly observed (slow-path) traffic.
+        """
+        series = self._by_class[message_class]
+        for (bucket, hops), count in counts.items():
+            series.bulk_add(bucket, float(size) * hops, count)
+
     def class_series(self, message_class: MessageClass) -> TimeSeries:
         """Byte-hops per bucket for one traffic class."""
         return self._by_class[message_class].sums()

@@ -81,6 +81,18 @@ class BucketedSeries:
         self._sums[bucket] = self._sums.get(bucket, 0.0) + value
         self._counts[bucket] = self._counts.get(bucket, 0) + 1
 
+    def bulk_add(self, bucket: int, value: float, count: int) -> None:
+        """Fold ``count`` identical ``value`` samples into one bucket.
+
+        Equivalent to ``count`` calls of :meth:`add` with a time inside
+        the bucket — *bit*-equivalent when ``value`` is integer-valued
+        (integer float sums below 2**53 are exact and order-free), which
+        is how the request fast lane materialises byte-hop series from
+        per-(bucket, hop-count) accumulators at finalisation.
+        """
+        self._sums[bucket] = self._sums.get(bucket, 0.0) + value * count
+        self._counts[bucket] = self._counts.get(bucket, 0) + count
+
     def __len__(self) -> int:
         return len(self._sums)
 

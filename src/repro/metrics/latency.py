@@ -67,6 +67,28 @@ class LatencyCollector:
         if self.samples is not None:
             self.samples.append(latency)
 
+    def fast_hooks(self) -> tuple[float, dict, dict, dict, dict, dict, dict]:
+        """The mutable internals the request fast lane writes directly.
+
+        Returns ``(bucket_width, latency_sums, latency_counts, hop_sums,
+        hop_counts, drop_sums, drop_counts)`` — the raw per-bucket dicts
+        of the three :class:`BucketedSeries`.  The lane performs exactly
+        the arithmetic :meth:`_observe` would (same dicts, same ops, same
+        event order), skipping only the record allocation and observer
+        dispatch, so fast and slow paths interleave bit-identically.
+        Aggregate scalars (``completed``, ``total_latency``, ...) are
+        plain attributes the lane updates in place.
+        """
+        return (
+            self._buckets.width,
+            self._buckets._sums,
+            self._buckets._counts,
+            self._hop_buckets._sums,
+            self._hop_buckets._counts,
+            self._drop_buckets._sums,
+            self._drop_buckets._counts,
+        )
+
     def mean_latency_series(self) -> TimeSeries:
         """Mean latency of requests completing in each bucket (Fig. 6)."""
         return self._buckets.means()

@@ -1,0 +1,195 @@
+"""Pipeline profiling: attribute a scenario's wall time to its stages.
+
+``python -m repro profile`` answers "where does the simulation spend its
+time?" with two complementary views of one run:
+
+* **Stage wall clock** — ``perf_counter`` brackets around the scenario
+  lifecycle (build the system, attach collectors/generators, drain the
+  event queue, finalize), plus per-stage counters (requests completed,
+  fast-lane vs reference-path requests, events drained) so each stage's
+  time can be read as a per-unit cost.
+* **Function attribution** — a ``cProfile`` capture of the drain phase,
+  with cumulative time rolled up into pipeline buckets by module
+  (request pipeline, event engine, workload generation, metrics,
+  placement/offload, routing) alongside the usual top-function table.
+
+cProfile inflates function-call-heavy code (its tracer charges every
+Python call), so stage wall-clock numbers are the truth and the
+attribution is the map; both are emitted so neither is over-read.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.runner import run_scenario, scenario_metrics
+from repro.topology.graph import Topology
+
+#: Module-path fragments mapped to pipeline stage buckets, first match
+#: wins.  Paths use forward slashes (normalised before matching).
+STAGE_BUCKETS: tuple[tuple[str, str], ...] = (
+    ("repro/core/fastlane", "request_pipeline"),
+    ("repro/core/protocol", "request_pipeline"),
+    ("repro/core/redirector", "request_pipeline"),
+    ("repro/core/host", "request_pipeline"),
+    ("repro/core/distributor", "request_pipeline"),
+    ("repro/sim/", "event_engine"),
+    ("repro/workloads/", "workload_generation"),
+    ("repro/metrics/", "metrics_collection"),
+    ("repro/core/placement", "placement_protocol"),
+    ("repro/core/offload", "placement_protocol"),
+    ("repro/core/load_board", "placement_protocol"),
+    ("repro/core/create_obj", "placement_protocol"),
+    ("repro/load/", "placement_protocol"),
+    ("repro/routing/", "routing"),
+    ("repro/network/", "network_transport"),
+    ("repro/", "other_repro"),
+)
+
+
+def _bucket_for(filename: str) -> str:
+    path = filename.replace("\\", "/")
+    for fragment, bucket in STAGE_BUCKETS:
+        if fragment in path:
+            return bucket
+    return "runtime_other"
+
+
+def _safe_metrics(result: Any) -> dict[str, float]:
+    """Scalar metrics of the run, tolerant of too-short horizons.
+
+    A profiling run may end before the first load-measurement tick, in
+    which case the series-derived metrics are undefined; fall back to
+    the always-available request counters rather than failing the
+    profile.
+    """
+    try:
+        return scenario_metrics(result)
+    except ConfigurationError:
+        return {
+            "requests_completed": float(result.latency.completed),
+            "requests_dropped": float(result.latency.dropped),
+            "requests_failed": float(result.latency.failed),
+        }
+
+
+def profile_scenario(
+    config: ScenarioConfig,
+    *,
+    topology: Topology | None = None,
+    top: int = 25,
+) -> dict[str, Any]:
+    """Run one scenario under the profiler; return the stage breakdown.
+
+    The returned dict is JSON-safe: stage wall times and counters,
+    cProfile bucket attribution, the top functions by cumulative time,
+    and the run's scalar metrics (so a profile artifact also documents
+    *what* ran).
+    """
+    profiler = cProfile.Profile()
+    wall_start = time.perf_counter()
+    profiler.enable()
+    result = run_scenario(config, topology=topology)
+    profiler.disable()
+    wall = time.perf_counter() - wall_start
+
+    stats = pstats.Stats(profiler)
+    total_profiled = stats.total_tt
+
+    buckets: dict[str, float] = {}
+    for (filename, _line, _name), (
+        _cc,
+        _nc,
+        tottime,
+        _cumtime,
+        _callers,
+    ) in stats.stats.items():
+        bucket = _bucket_for(filename)
+        buckets[bucket] = buckets.get(bucket, 0.0) + tottime
+
+    top_functions = []
+    ordered = sorted(
+        stats.stats.items(), key=lambda item: item[1][3], reverse=True
+    )
+    for (filename, line, name), (cc, nc, tottime, cumtime, _callers) in ordered:
+        if len(top_functions) >= top:
+            break
+        top_functions.append(
+            {
+                "function": f"{filename}:{line}({name})",
+                "bucket": _bucket_for(filename),
+                "calls": nc,
+                "tottime_s": round(tottime, 4),
+                "cumtime_s": round(cumtime, 4),
+            }
+        )
+
+    lane = result.system.fast_lane
+    counters = {
+        "requests_completed": result.latency.completed,
+        "requests_dropped": result.latency.dropped,
+        "requests_failed": result.latency.failed,
+        "requests_fast_lane": lane.requests_fast if lane is not None else 0,
+        "requests_reference_path": (
+            lane.requests_slow
+            if lane is not None
+            else result.latency.completed
+            + result.latency.dropped
+            + result.latency.failed
+        ),
+        "fast_lane_installed": lane is not None,
+        "placement_events": len(result.system.placement_events),
+    }
+    completed = result.latency.completed
+    return {
+        "schema": "pipeline-profile/v1",
+        "scenario": config.name,
+        "duration_simulated_s": config.duration,
+        "wall_s": round(wall, 3),
+        "requests_per_sec_profiled": (
+            round(completed / wall, 1) if wall > 0 else 0.0
+        ),
+        "counters": counters,
+        "stage_seconds": {
+            bucket: round(seconds, 4)
+            for bucket, seconds in sorted(
+                buckets.items(), key=lambda item: item[1], reverse=True
+            )
+        },
+        "profiled_seconds_total": round(total_profiled, 3),
+        "top_functions": top_functions,
+        "metrics": _safe_metrics(result),
+    }
+
+
+def stage_walltimes(
+    config: ScenarioConfig, *, topology: Topology | None = None
+) -> dict[str, Any]:
+    """Wall-clock the scenario lifecycle stages without the profiler.
+
+    These are the honest numbers (no tracer overhead): build the system,
+    run it to the horizon, and the requests-per-wall-second that the
+    perf trajectory tracks.
+    """
+    from repro.scenarios.runner import build_system
+
+    t0 = time.perf_counter()
+    build_system(config, topology=topology)
+    build_s = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    result = run_scenario(config, topology=topology)
+    run_s = time.perf_counter() - t1
+    completed = result.latency.completed
+    return {
+        "build_s": round(build_s, 3),
+        "run_s": round(run_s, 3),
+        "drain_estimate_s": round(max(run_s - build_s, 0.0), 3),
+        "requests_completed": completed,
+        "requests_per_sec": round(completed / run_s, 1) if run_s > 0 else 0.0,
+    }

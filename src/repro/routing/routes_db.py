@@ -8,6 +8,11 @@ protocol extracts from the platform routers (Section 2):
 * helper orderings (closest replica to a gateway, farthest-first candidate
   ordering) used by the request-distribution and placement algorithms.
 
+Distances are computed eagerly (one BFS per source); canonical paths are
+materialised lazily per ordered pair on first use — see
+:class:`~repro.routing.shortest_path.ShortestPathIndex` for why this is
+byte-identical to eager construction.
+
 Staleness: the paper extracts routes "asynchronously with client requests,
 thereby reducing request latency at the expense of potential staleness".
 :meth:`RoutingDatabase.snapshot` returns a frozen copy so scenarios can
@@ -18,7 +23,7 @@ instance always reflects the current topology.
 from __future__ import annotations
 
 from repro.errors import RoutingError
-from repro.routing.shortest_path import all_pairs_shortest_paths
+from repro.routing.shortest_path import ShortestPathIndex
 from repro.topology.graph import Topology
 from repro.types import NodeId
 
@@ -28,7 +33,9 @@ class RoutingDatabase:
 
     def __init__(self, topology: Topology) -> None:
         self._topology = topology
-        self._dist, self._paths = all_pairs_shortest_paths(topology)
+        self._index = ShortestPathIndex(topology)
+        self._dist = self._index.dist_matrix
+        self._row_sums: list[int] | None = None
 
     @property
     def topology(self) -> Topology:
@@ -56,8 +63,8 @@ class RoutingDatabase:
         for all requests from i to j").
         """
         try:
-            return self._paths[(source, target)]
-        except KeyError:
+            return self._index.path(source, target)
+        except IndexError:
             raise RoutingError(f"no route {source} -> {target}") from None
 
     def preference_path(self, server: NodeId, client: NodeId) -> tuple[NodeId, ...]:
@@ -96,16 +103,24 @@ class RoutingDatabase:
         row = self._dist[frm]
         return sorted(candidates, key=lambda node: (-row[node], node))
 
+    def _distance_row_sums(self) -> list[int]:
+        """Per-node distance-row totals, computed once and cached."""
+        sums = self._row_sums
+        if sums is None:
+            sums = self._row_sums = [sum(row) for row in self._dist]
+        return sums
+
     def min_mean_distance_node(self) -> NodeId:
         """The node with minimum mean hop distance to all other nodes.
 
         The paper co-locates the redirector "with a node whose average
         distance in hops to other nodes is minimum" (Section 6.1).
         """
+        sums = self._distance_row_sums()
         best_node = 0
-        best_total = sum(self._dist[0])
+        best_total = sums[0]
         for node in range(1, self.num_nodes):
-            total = sum(self._dist[node])
+            total = sums[node]
             if total < best_total:
                 best_total = total
                 best_node = node
@@ -116,13 +131,17 @@ class RoutingDatabase:
         n = self.num_nodes
         if n < 2:
             return 0.0
-        total = sum(sum(row) for row in self._dist)
-        return total / (n * (n - 1))
+        return sum(self._distance_row_sums()) / (n * (n - 1))
 
     def snapshot(self) -> "RoutingDatabase":
-        """A frozen copy of the current routes (staleness modelling)."""
+        """A frozen copy of the current routes (staleness modelling).
+
+        The path index is shared: it is a pure function of the (immutable)
+        topology, so the clone sees exactly the routes the original does.
+        """
         clone = object.__new__(RoutingDatabase)
         clone._topology = self._topology
+        clone._index = self._index
         clone._dist = [row[:] for row in self._dist]
-        clone._paths = dict(self._paths)
+        clone._row_sums = None
         return clone

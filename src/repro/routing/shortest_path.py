@@ -1,4 +1,4 @@
-"""Deterministic all-pairs shortest paths over a backbone topology.
+"""Deterministic shortest paths over a backbone topology.
 
 All backbone links are identical (Table 1: a uniform per-hop delay and
 bandwidth), so shortest paths are breadth-first paths by hop count.  The
@@ -14,6 +14,19 @@ destinations ride different equal-cost parents.  We reproduce that: ties
 are broken by a deterministic hash of ``(source, target, candidate)``,
 fixed for all time — the same pair always uses the same path, but
 different pairs split across the equal-cost options.
+
+Laziness
+--------
+Distances (the hot per-request quantity) are computed eagerly: one BFS
+per source over plain adjacency lists.  Canonical *paths* are only walked
+on first use and cached per ordered pair: at 500 nodes the eager variant
+spends seconds hashing ~n³ tie-break candidates for 250k paths of which a
+scenario touches a tiny, workload-dependent subset (the request fast lane
+defers preference-path expansion to placement time, so short benchmark
+runs touch none at all).  The choice per pair depends only on the
+shortest-path DAG and the hash — never on when, or in what order, paths
+are materialised — so lazy and eager construction yield byte-identical
+routes.
 """
 
 from __future__ import annotations
@@ -33,29 +46,68 @@ def _tie_key(source: NodeId, target: NodeId, candidate: NodeId) -> int:
     return int.from_bytes(digest, "big")
 
 
-def _bfs_dag(
-    topology: Topology, source: NodeId
-) -> tuple[list[int], list[list[int]]]:
-    """BFS from ``source`` keeping *all* shortest-path predecessors.
+class ShortestPathIndex:
+    """Per-source BFS DAGs with lazily materialised canonical paths.
 
-    Returns ``(dist, parents)`` where ``parents[v]`` lists every
-    neighbour of ``v`` lying on some shortest path from ``source``.
+    ``dist_matrix[i][j]`` is the hop count between ``i`` and ``j``;
+    :meth:`path` walks (and caches) the canonical node sequence for one
+    ordered pair using the hashed ECMP-style tie-break.  The index is
+    effectively immutable — the cache only ever fills in values that are
+    a pure function of the topology — so it is safe to share between a
+    routing database and its snapshots.
     """
-    n = topology.num_nodes
-    dist = [-1] * n
-    parents: list[list[int]] = [[] for _ in range(n)]
-    dist[source] = 0
-    queue: deque[int] = deque([source])
-    while queue:
-        node = queue.popleft()
-        for neighbor in topology.neighbors(node):
-            if dist[neighbor] == -1:
-                dist[neighbor] = dist[node] + 1
-                parents[neighbor].append(node)
-                queue.append(neighbor)
-            elif dist[neighbor] == dist[node] + 1:
-                parents[neighbor].append(node)
-    return dist, parents
+
+    __slots__ = ("dist_matrix", "_parents", "_paths")
+
+    def __init__(self, topology: Topology) -> None:
+        n = topology.num_nodes
+        adjacency = [list(topology.neighbors(node)) for node in range(n)]
+        dist_matrix: list[list[int]] = []
+        all_parents: list[list[list[int]]] = []
+        for source in range(n):
+            dist = [-1] * n
+            parents: list[list[int]] = [[] for _ in range(n)]
+            dist[source] = 0
+            queue: deque[int] = deque([source])
+            while queue:
+                node = queue.popleft()
+                next_dist = dist[node] + 1
+                for neighbor in adjacency[node]:
+                    d = dist[neighbor]
+                    if d == -1:
+                        dist[neighbor] = next_dist
+                        parents[neighbor].append(node)
+                        queue.append(neighbor)
+                    elif d == next_dist:
+                        parents[neighbor].append(node)
+            if -1 in dist:
+                raise RoutingError(f"topology disconnected from node {source}")
+            dist_matrix.append(dist)
+            all_parents.append(parents)
+        self.dist_matrix = dist_matrix
+        self._parents = all_parents
+        self._paths: dict[tuple[NodeId, NodeId], tuple[NodeId, ...]] = {}
+
+    def path(self, source: NodeId, target: NodeId) -> tuple[NodeId, ...]:
+        """The canonical ``source -> target`` node sequence, inclusive."""
+        key = (source, target)
+        cached = self._paths.get(key)
+        if cached is not None:
+            return cached
+        parents = self._parents[source]
+        chain = [target]
+        node = target
+        while node != source:
+            options = parents[node]
+            if len(options) == 1:
+                node = options[0]
+            else:
+                node = min(options, key=lambda p: _tie_key(source, target, p))
+            chain.append(node)
+        chain.reverse()
+        path = tuple(chain)
+        self._paths[key] = path
+        return path
 
 
 def all_pairs_shortest_paths(
@@ -74,27 +126,14 @@ def all_pairs_shortest_paths(
 
     Raises :class:`RoutingError` if the topology is disconnected (which
     :class:`~repro.topology.graph.Topology` normally prevents).
+
+    This eager variant exists for analysis tooling and tests; the
+    simulator routes through :class:`ShortestPathIndex`, which walks the
+    same DAGs lazily and produces byte-identical paths.
     """
+    index = ShortestPathIndex(topology)
     n = topology.num_nodes
-    dist_matrix: list[list[int]] = []
-    paths: dict[tuple[NodeId, NodeId], tuple[NodeId, ...]] = {}
     for source in range(n):
-        dist, parents = _bfs_dag(topology, source)
-        if any(d == -1 for d in dist):
-            raise RoutingError(f"topology disconnected from node {source}")
-        dist_matrix.append(dist)
         for target in range(n):
-            chain = [target]
-            node = target
-            while node != source:
-                options = parents[node]
-                if len(options) == 1:
-                    node = options[0]
-                else:
-                    node = min(
-                        options, key=lambda p: _tie_key(source, target, p)
-                    )
-                chain.append(node)
-            chain.reverse()
-            paths[(source, target)] = tuple(chain)
-    return dist_matrix, paths
+            index.path(source, target)
+    return index.dist_matrix, dict(index._paths)

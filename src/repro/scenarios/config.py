@@ -87,6 +87,13 @@ class ScenarioConfig:
     #: Excluded from the sweep spec hash — a scheduling-substrate knob,
     #: not a scenario parameter.
     batched_arrivals: bool = False
+    #: Install the flattened request pipeline
+    #: (:mod:`repro.core.fastlane`) when the run is eligible (no fault
+    #: plane, no tracer, no extra observers, ...).  The lane simulates
+    #: the same events and produces bit-identical metrics, so this is a
+    #: pure performance knob; excluded from the sweep spec hash.  Turn
+    #: off to force every request through the reference pipeline.
+    fast_lane: bool = True
     #: Event-queue bucket width override, seconds.  ``None`` auto-sizes
     #: from the expected event rate (:func:`repro.scenarios.runner.
     #: auto_bucket_width`).  Pure performance knob — ordering is exact

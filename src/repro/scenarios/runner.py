@@ -401,6 +401,11 @@ def run_scenario(
     if strategy.attach is not None:
         placer = strategy.attach(system, config)
         placer.start()
+    if config.fast_lane:
+        # After every observer/placer attachment (the eligibility check
+        # sees the final configuration), before the generators capture
+        # the submit_request entry point.  A no-op when blocked.
+        system.enable_fast_lane(bandwidth=bandwidth, latency=latency)
     generators = attach_generators(
         sim,
         system,
@@ -429,6 +434,10 @@ def run_scenario(
     if placer is not None:
         placer.stop()
     system.stop()
+    if system.fast_lane is not None:
+        # Fold the lane's aggregated byte-hop accounting into the
+        # bandwidth collector and transport totals before anyone reads.
+        system.fast_lane.flush()
     replicas.stop()
     loads.finalize()
     if config.check_invariants:

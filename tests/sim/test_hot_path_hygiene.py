@@ -7,15 +7,37 @@ on the per-event path carry ``__slots__`` (no per-instance ``__dict__``).
 The pinned ruff version has no per-path API-ban rule, so this test *is*
 the lint: it fails any change that introduces ``@dataclass`` (or an
 unslotted class) into ``src/repro/sim/``.
+
+The same budget extends to the request path in ``src/repro/core/``: the
+per-request classes (fast lane, host server, object store, load meter)
+must stay slotted, the request-path modules must not grow dataclasses
+(slotted ``types.RequestRecord``/``ReplicaInfo`` are the one sanctioned
+home), and the fast lane's per-request methods must never iterate an
+observer list — the lane exists because the reference path's observer
+dispatch is the cost being bypassed.
 """
 
 import dataclasses
 import inspect
 import pathlib
 
+from repro.core import fastlane, host, object_store
+from repro.load import metrics as load_metrics
 from repro.sim import engine, events
 
 SIM_DIR = pathlib.Path(inspect.getfile(events)).parent
+CORE_DIR = pathlib.Path(inspect.getfile(fastlane)).parent
+
+#: ``core/`` modules on the per-request path (config.py is excluded on
+#: purpose: configs are built once per run, dataclasses are fine there).
+REQUEST_PATH_MODULES = (
+    "fastlane.py",
+    "host.py",
+    "object_store.py",
+    "redirector.py",
+    "protocol.py",
+    "distributor.py",
+)
 
 
 def _sim_sources():
@@ -63,3 +85,55 @@ def test_queue_entries_are_plain_tuples():
     # (time, seq, handle, callback, args)
     assert entry[events.ENTRY_TIME] == 1.0
     assert entry[events.ENTRY_SEQ] == 0
+
+
+def test_no_dataclasses_in_request_path_modules():
+    """Per-request allocation ban, extended to ``core/``: the modules a
+    request touches must not define (or decorate with) dataclasses —
+    an unslotted record per request is the allocation pattern the fast
+    lane exists to avoid."""
+    offenders = [
+        name
+        for name in REQUEST_PATH_MODULES
+        if "dataclass" in (CORE_DIR / name).read_text()
+    ]
+    assert offenders == [], f"dataclass usage on the request path: {offenders}"
+
+
+def test_request_path_classes_are_slotted():
+    """Every class instantiated or mutated per request carries
+    ``__slots__`` (``HostingSystem``/``RedirectorService`` are built once
+    per run and intentionally stay plain classes)."""
+    for cls in (
+        fastlane.FastLane,
+        host.HostServer,
+        object_store.ObjectStore,
+        load_metrics.LoadMeter,
+    ):
+        assert "__slots__" in cls.__dict__, f"{cls.__name__} lost __slots__"
+
+
+def test_fast_lane_never_dispatches_observers():
+    """The lane's per-request methods must not reach any observer list:
+    the whole point of the lane is that the single fault-free observer
+    pipeline is inlined.  Observer mentions belong only in the
+    eligibility check (``fast_lane_blockers``) and in comments."""
+    for method in (
+        fastlane.FastLane.submit_request,
+        fastlane.FastLane._arrive,
+        fastlane.FastLane._complete,
+        fastlane.FastLane._finish,
+    ):
+        source = inspect.getsource(method)
+        code_lines = [
+            line.partition("#")[0] for line in source.splitlines()
+        ]
+        offenders = [
+            line.strip()
+            for line in code_lines
+            if "request_observers" in line or "_observers" in line
+        ]
+        assert offenders == [], (
+            f"observer dispatch crept into FastLane.{method.__name__}: "
+            f"{offenders}"
+        )
